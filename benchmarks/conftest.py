@@ -1,0 +1,21 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures through the
+same ``repro.experiments`` harness the CLI uses, scaled down so the whole
+suite finishes in a few minutes under the interpreter.  Each benchmark also
+asserts the *shape* of the paper's result (who wins, by roughly what factor),
+so ``pytest benchmarks/ --benchmark-only`` doubles as a reproduction check.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    """Fixture exposing the single-round runner."""
+    return run_once

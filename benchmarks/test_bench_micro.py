@@ -1,0 +1,60 @@
+"""Microbenchmarks of the hot paths (not tied to a specific paper figure).
+
+These are conventional pytest-benchmark measurements (many rounds) of the
+CM's request/grant/notify/update cycle and of the simulation engine itself;
+they exist so that performance regressions in the core are visible
+independently of the full experiment harnesses.
+"""
+
+from repro import CongestionManager, HostCosts
+from repro.core import CM_NO_CONGESTION
+from repro.netsim import Host, Simulator
+
+
+def build_cm_host():
+    sim = Simulator()
+    host = Host(sim, "bench", "10.0.0.1", costs=HostCosts())
+    cm = CongestionManager(host)
+    return sim, host, cm
+
+
+def test_bench_cm_request_grant_cycle(benchmark):
+    sim, _host, cm = build_cm_host()
+    fid = cm.cm_open("10.0.0.1", "10.0.0.2", 1000, 80, "tcp")
+    cm.cm_register_send(fid, lambda flow_id: None)
+
+    def cycle():
+        cm.cm_request(fid)
+        sim.run()          # deliver the grant callback
+        cm.cm_notify(fid, 1448)
+        cm.cm_update(fid, 1448, 1448, CM_NO_CONGESTION, 0.01)
+
+    benchmark(cycle)
+
+
+def test_bench_cm_query(benchmark):
+    _sim, _host, cm = build_cm_host()
+    fid = cm.cm_open("10.0.0.1", "10.0.0.2", 1000, 80, "tcp")
+    benchmark(cm.cm_query, fid)
+
+
+def test_bench_simulator_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        for i in range(2000):
+            sim.schedule(i * 1e-6, lambda: None)
+        sim.run()
+
+    benchmark(run_events)
+
+
+def test_bench_flow_open_close(benchmark):
+    sim, _host, cm = build_cm_host()
+    counter = iter(range(10_000_000))
+
+    def open_close():
+        port = 10_000 + next(counter)
+        fid = cm.cm_open("10.0.0.1", "10.0.0.2", port, 80, "tcp")
+        cm.cm_close(fid)
+
+    benchmark(open_close)

@@ -1,0 +1,74 @@
+"""repro: a reproduction of the Congestion Manager (Andersen et al., OSDI 2000).
+
+The package provides:
+
+* :mod:`repro.core` — the Congestion Manager itself (macroflows, AIMD
+  congestion controller, round-robin scheduler, the ``cm_*`` API and the
+  user-space ``libcm`` library);
+* :mod:`repro.netsim` — the discrete-event network substrate that replaces
+  the paper's testbed;
+* :mod:`repro.hostmodel` — the end-host CPU cost model used for the API
+  overhead studies;
+* :mod:`repro.transport` — TCP (native Reno baseline and TCP/CM) and UDP
+  (plain and CM-congestion-controlled sockets);
+* :mod:`repro.apps` — the paper's application case studies (layered
+  streaming, vat-style interactive audio, web server, bulk transfer);
+* :mod:`repro.experiments` — harnesses that regenerate every table and
+  figure in the paper's evaluation section.
+
+Quick start::
+
+    from repro import Simulator, Host, Channel, CongestionManager
+
+    sim = Simulator()
+    sender = Host(sim, "sender", "10.0.0.1")
+    receiver = Host(sim, "receiver", "10.0.0.2")
+    Channel(sim, sender, receiver, rate_bps=10e6, one_way_delay=0.03)
+    cm = CongestionManager(sender)
+    flow = cm.cm_open(sender.addr, receiver.addr, 5000, 6000)
+
+See ``examples/quickstart.py`` for a complete adaptive sender.
+"""
+
+from .core import (
+    AimdWindowController,
+    CongestionManager,
+    LibCM,
+    QueryResult,
+    RateAimdController,
+    RoundRobinScheduler,
+    WeightedRoundRobinScheduler,
+    CM_ECN_CONGESTION,
+    CM_NO_CONGESTION,
+    CM_PERSISTENT_CONGESTION,
+    CM_TRANSIENT_CONGESTION,
+)
+from .hostmodel import CostModel, CpuLedger, HostCosts
+from .netsim import Channel, Host, Link, Packet, Router, Simulator, build_dumbbell
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CongestionManager",
+    "LibCM",
+    "QueryResult",
+    "AimdWindowController",
+    "RateAimdController",
+    "RoundRobinScheduler",
+    "WeightedRoundRobinScheduler",
+    "CM_NO_CONGESTION",
+    "CM_TRANSIENT_CONGESTION",
+    "CM_PERSISTENT_CONGESTION",
+    "CM_ECN_CONGESTION",
+    "CostModel",
+    "CpuLedger",
+    "HostCosts",
+    "Simulator",
+    "Host",
+    "Router",
+    "Link",
+    "Channel",
+    "Packet",
+    "build_dumbbell",
+    "__version__",
+]

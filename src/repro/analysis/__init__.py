@@ -1,0 +1,21 @@
+"""Measurement and summary helpers for experiments and tests."""
+
+from .metrics import (
+    jain_fairness,
+    mean,
+    oscillation_count,
+    relative_difference,
+    series_max,
+    series_mean,
+    throughput_bytes_per_second,
+)
+
+__all__ = [
+    "throughput_bytes_per_second",
+    "jain_fairness",
+    "mean",
+    "relative_difference",
+    "series_mean",
+    "series_max",
+    "oscillation_count",
+]

@@ -1,0 +1,25 @@
+"""Application case studies from the paper (§3) built on the CM API."""
+
+from .alfapp import ApiOverheadResult, TCPApiTestApp, TCP_VARIANTS, UDPApiTestApp, UDP_VARIANTS
+from .bulk import BulkResult, BulkTransferApp
+from .layered import DEFAULT_LAYER_RATES, LayeredStreamingServer
+from .vat import AudioBuffer, Policer, VatApplication
+from .webserver import FetchRecord, FileServer, WebClient
+
+__all__ = [
+    "LayeredStreamingServer",
+    "DEFAULT_LAYER_RATES",
+    "VatApplication",
+    "Policer",
+    "AudioBuffer",
+    "FileServer",
+    "WebClient",
+    "FetchRecord",
+    "BulkTransferApp",
+    "BulkResult",
+    "UDPApiTestApp",
+    "TCPApiTestApp",
+    "ApiOverheadResult",
+    "UDP_VARIANTS",
+    "TCP_VARIANTS",
+]

@@ -1,0 +1,248 @@
+"""Adaptive interactive audio (the paper's vat case study, §3.6 / Figure 2).
+
+vat produces a constant-bit-rate audio stream (64 kbit/s) and cannot
+down-sample, so the only way to make it network-friendly is to *preemptively
+drop* packets so the offered load matches what the CM says the path can
+carry.  The paper's architecture (Figure 2) is reproduced here:
+
+    audio source (64 kbit/s) -> policer -> application buffer -> kernel
+    (CM-paced UDP socket) -> network
+
+* the **policer** performs long-term adaptation: it admits frames at no more
+  than the CM-reported rate (a token bucket refilled at that rate) and
+  drops the rest;
+* the **application buffer** absorbs short-term variation caused by the
+  congestion controller's probing; it is small and can be configured for
+  drop-from-head (keep the freshest audio, the behaviour vat needs) or
+  drop-tail;
+* the **kernel buffer** is the CM-UDP socket's packet queue, drained by CM
+  grants.
+
+The receiver is a plain :class:`~repro.transport.udp.feedback.AckReflector`;
+vat feeds its acknowledgements back to the CM with ``cm_update``, and learns
+about rate changes through the CM rate callback.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.query import QueryResult
+from ..netsim.node import Host
+from ..netsim.packet import Packet
+from ..transport.udp.feedback import AppFeedbackTracker
+from ..transport.udp.udpcc import CMUDPSocket
+
+__all__ = ["VatApplication", "Policer", "AudioBuffer"]
+
+#: vat's PCM audio rate: 64 kbit/s.
+AUDIO_RATE_BPS = 64_000
+#: One audio frame every 20 ms -> 160 payload bytes, plus a 12-byte RTP header.
+FRAME_INTERVAL = 0.020
+FRAME_PAYLOAD = 172
+
+
+class Policer:
+    """Token-bucket admission control refilled at the CM-reported rate."""
+
+    def __init__(
+        self,
+        initial_rate: float = FRAME_PAYLOAD / FRAME_INTERVAL,
+        bucket_depth: float = 2 * FRAME_PAYLOAD,
+    ):
+        self.rate = float(initial_rate)
+        self.bucket_depth = float(bucket_depth)
+        self._tokens = float(bucket_depth)
+        self._last_refill = 0.0
+        self.admitted = 0
+        self.dropped = 0
+
+    def set_rate(self, rate: float) -> None:
+        """Update the admission rate (bytes/second)."""
+        self.rate = max(0.0, float(rate))
+
+    def admit(self, nbytes: int, now: float) -> bool:
+        """Return True if a frame of ``nbytes`` may pass at time ``now``."""
+        elapsed = max(0.0, now - self._last_refill)
+        self._last_refill = now
+        self._tokens = min(self.bucket_depth, self._tokens + elapsed * self.rate)
+        if self._tokens >= nbytes:
+            self._tokens -= nbytes
+            self.admitted += 1
+            return True
+        self.dropped += 1
+        return False
+
+
+class AudioBuffer:
+    """Small application-level frame buffer with a configurable drop policy."""
+
+    DROP_FROM_HEAD = "drop-from-head"
+    DROP_TAIL = "drop-tail"
+
+    def __init__(self, capacity_frames: int = 8, policy: str = DROP_FROM_HEAD):
+        if policy not in (self.DROP_FROM_HEAD, self.DROP_TAIL):
+            raise ValueError(f"unknown drop policy {policy!r}")
+        if capacity_frames < 1:
+            raise ValueError("buffer capacity must be at least one frame")
+        self.capacity = capacity_frames
+        self.policy = policy
+        self._frames: List[Tuple[int, float]] = []  # (seq, generated_at)
+        self.drops = 0
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def push(self, seq: int, generated_at: float) -> None:
+        """Insert a frame, applying the drop policy when full."""
+        if len(self._frames) >= self.capacity:
+            self.drops += 1
+            if self.policy == self.DROP_FROM_HEAD:
+                self._frames.pop(0)
+            else:
+                return
+        self._frames.append((seq, generated_at))
+
+    def pop(self) -> Optional[Tuple[int, float]]:
+        """Remove and return the oldest buffered frame."""
+        if not self._frames:
+            return None
+        return self._frames.pop(0)
+
+
+class VatApplication:
+    """CBR interactive audio sender made adaptive through the CM."""
+
+    def __init__(
+        self,
+        host: Host,
+        client_addr: str,
+        client_port: int,
+        buffer_frames: int = 8,
+        drop_policy: str = AudioBuffer.DROP_FROM_HEAD,
+        kernel_queue_frames: int = 4,
+        thresh_down: float = 1.25,
+        thresh_up: float = 1.25,
+    ):
+        if host.cm is None:
+            raise RuntimeError("VatApplication requires a Congestion Manager on the host")
+        self.host = host
+        self.sim = host.sim
+        self.cm = host.cm
+
+        self.socket = CMUDPSocket(host, charge_costs=True, max_queue_packets=kernel_queue_frames)
+        self.socket.connect(client_addr, client_port)
+        self.socket.on_receive = self._handle_ack
+        self.flow_id = self.socket.flow_id
+
+        # vat needed fewer than a hundred changed lines; the key ones are
+        # registering for rate callbacks and reporting feedback.
+        self.cm.cm_register_update(self.flow_id, self._cmapp_update)
+        self.cm.cm_thresh(self.flow_id, thresh_down, thresh_up)
+
+        self.policer = Policer()
+        self.buffer = AudioBuffer(capacity_frames=buffer_frames, policy=drop_policy)
+        self.tracker = AppFeedbackTracker()
+
+        self._running = False
+        self._frame_event = None
+        self._drain_event = None
+        self._seq = 0
+
+        self.frames_generated = 0
+        self.frames_sent = 0
+        self.frames_acked = 0
+        self.delivery_delays: List[float] = []
+        self.rate_updates: List[Tuple[float, float]] = []
+
+    # ====================================================================== #
+    # Control                                                                #
+    # ====================================================================== #
+    def start(self) -> None:
+        """Start generating audio frames."""
+        if self._running:
+            return
+        self._running = True
+        self._frame_event = self.sim.schedule(FRAME_INTERVAL, self._generate_frame)
+
+    def stop(self) -> None:
+        """Stop the audio source (pending buffered frames are abandoned)."""
+        self._running = False
+        if self._frame_event is not None:
+            self._frame_event.cancel()
+            self._frame_event = None
+        if self._drain_event is not None:
+            self._drain_event.cancel()
+            self._drain_event = None
+
+    # ====================================================================== #
+    # Audio pipeline                                                         #
+    # ====================================================================== #
+    def _generate_frame(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        self.frames_generated += 1
+        seq = self._seq
+        self._seq += 1
+        if self.policer.admit(FRAME_PAYLOAD, now):
+            self.buffer.push(seq, now)
+            self._drain_buffer()
+        self._frame_event = self.sim.schedule(FRAME_INTERVAL, self._generate_frame)
+
+    def _drain_buffer(self) -> None:
+        """Move frames from the application buffer into the kernel queue."""
+        while len(self.buffer) and self.socket.queued_packets < self.socket.max_queue_packets:
+            frame = self.buffer.pop()
+            if frame is None:
+                break
+            seq, generated_at = frame
+            self.socket.send(
+                FRAME_PAYLOAD,
+                headers={"seq": seq, "ts": self.sim.now, "generated_at": generated_at},
+            )
+            self.tracker.on_sent(seq, FRAME_PAYLOAD)
+            self.frames_sent += 1
+        if len(self.buffer) and self._running and (self._drain_event is None or not self._drain_event.pending):
+            # The kernel queue is full; try again shortly (on-demand refill).
+            self._drain_event = self.sim.schedule(FRAME_INTERVAL / 2.0, self._drain_buffer)
+
+    # ====================================================================== #
+    # Feedback and adaptation                                                #
+    # ====================================================================== #
+    def _handle_ack(self, packet: Packet) -> None:
+        headers = packet.headers
+        now = self.sim.now
+        if self.host.costs is not None:
+            self.host.costs.charge_operation("gettimeofday", count=2, category="app")
+        report = self.tracker.on_ack(headers.get("ack_seq"), headers.get("ts_echo"), now)
+        if report is None:
+            return
+        self.frames_acked += headers.get("acked_packets", 1)
+        if report.rtt > 0:
+            self.delivery_delays.append(report.rtt / 2.0)
+        self.cm.cm_update(self.flow_id, report.nsent, report.nrecd, report.lossmode, report.rtt)
+
+    def _cmapp_update(self, flow_id: int, status: QueryResult) -> None:
+        """Rate callback: retune the policer to the newly reported rate."""
+        self.rate_updates.append((self.sim.now, status.rate))
+        self.policer.set_rate(status.rate)
+
+    # ====================================================================== #
+    # Results                                                                #
+    # ====================================================================== #
+    @property
+    def frames_dropped_by_policer(self) -> int:
+        """Frames preemptively dropped to match the available bandwidth."""
+        return self.policer.dropped
+
+    @property
+    def frames_dropped_by_buffer(self) -> int:
+        """Frames displaced from the application buffer (short-term variation)."""
+        return self.buffer.drops
+
+    def mean_delivery_delay(self) -> float:
+        """Average one-way delay estimate of acknowledged frames."""
+        if not self.delivery_delays:
+            return 0.0
+        return sum(self.delivery_delays) / len(self.delivery_delays)

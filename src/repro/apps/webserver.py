@@ -1,0 +1,167 @@
+"""Web-server-style file retrievals (the Figure 7 workload).
+
+A client issues HTTP-like requests; for every request the server opens a
+**new TCP connection** back to the client and ships the file, which is the
+pattern the paper studies: "a client that sequentially fetches files from a
+webserver with a new TCP connection each time loses its prior congestion
+information, but with concurrent connections with the CM, the server is able
+to use this information to start subsequent connections with more accurate
+congestion windows."
+
+The server can run either sender variant:
+
+* ``"linux"`` — each connection is an independent :class:`RenoTCPSender`
+  that slow-starts from scratch;
+* ``"cm"`` — each connection is a :class:`CMTCPSender`; all of them join the
+  client's macroflow, so later connections inherit the congestion window and
+  RTT estimate of earlier ones.
+
+Request transport is a single small UDP datagram (the request fits in one
+packet, as an HTTP GET does), so a fetch costs: ½ RTT for the request,
+1 RTT for the TCP handshake, then the transfer itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..netsim.node import Host
+from ..netsim.packet import Packet
+from ..transport.tcp import CMTCPSender, RenoTCPSender, TCPListener
+from ..transport.udp.socket import UDPSocket
+
+__all__ = ["FileServer", "WebClient", "FetchRecord"]
+
+#: Size of the HTTP-like request datagram.
+REQUEST_BYTES = 300
+
+
+class FetchRecord:
+    """Timing record for one client request."""
+
+    def __init__(self, request_id: int, size: int, started_at: float):
+        self.request_id = request_id
+        self.size = size
+        self.started_at = started_at
+        self.completed_at: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        """True once every byte of the response has arrived at the client."""
+        return self.completed_at is not None
+
+    @property
+    def duration(self) -> float:
+        """Seconds from issuing the request to receiving the last byte."""
+        if self.completed_at is None:
+            return float("nan")
+        return self.completed_at - self.started_at
+
+
+class FileServer:
+    """Serves fixed-size responses over per-request TCP connections."""
+
+    def __init__(
+        self,
+        host: Host,
+        port: int,
+        variant: str = "cm",
+        receive_window: int = 64 * 1024,
+    ):
+        if variant not in ("cm", "linux"):
+            raise ValueError(f"unknown server variant {variant!r}")
+        if variant == "cm" and host.cm is None:
+            raise RuntimeError("a CM-enabled FileServer needs a Congestion Manager on its host")
+        self.host = host
+        self.variant = variant
+        self.receive_window = receive_window
+        self.socket = UDPSocket(host, local_port=port, charge_costs=False)
+        self.socket.on_receive = self._handle_request
+        self.requests_served = 0
+        self.active_senders: List = []
+
+    def close(self) -> None:
+        """Stop accepting requests and tear down any active transfers."""
+        self.socket.close()
+        for sender in self.active_senders:
+            sender.close()
+        self.active_senders.clear()
+
+    # -------------------------------------------------------------- internals
+    def _handle_request(self, packet: Packet) -> None:
+        headers = packet.headers
+        size = int(headers.get("size", 0))
+        reply_port = int(headers.get("reply_port", 0))
+        request_id = headers.get("request_id")
+        if size <= 0 or reply_port <= 0:
+            return
+        self.requests_served += 1
+        sender_cls = CMTCPSender if self.variant == "cm" else RenoTCPSender
+        sender = sender_cls(
+            self.host,
+            dst=packet.src,
+            dport=reply_port,
+            receive_window=self.receive_window,
+        )
+        self.active_senders.append(sender)
+
+        def _finished(_when: float, sender=sender) -> None:
+            sender.close()
+            if sender in self.active_senders:
+                self.active_senders.remove(sender)
+
+        sender.on_complete = _finished
+        sender.send(size)
+        # The request_id travels implicitly: the client matches the response
+        # connection by the port it told the server to connect back to.
+        del request_id
+
+
+class WebClient:
+    """Issues requests to a :class:`FileServer` and times the responses."""
+
+    def __init__(self, host: Host, server_addr: str, server_port: int):
+        self.host = host
+        self.sim = host.sim
+        self.server_addr = server_addr
+        self.server_port = server_port
+        self.socket = UDPSocket(host, charge_costs=False)
+        self.fetches: List[FetchRecord] = []
+        self._listeners: Dict[int, TCPListener] = {}
+        self._next_request_id = 0
+
+    def fetch(self, size: int, on_complete: Optional[Callable[[FetchRecord], None]] = None) -> FetchRecord:
+        """Request ``size`` bytes from the server; returns the timing record."""
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        reply_port = self.host.allocate_port()
+        record = FetchRecord(request_id, size, self.sim.now)
+        self.fetches.append(record)
+
+        def _on_data(_nbytes: int, now: float, record=record, reply_port=reply_port) -> None:
+            listener = self._listeners[reply_port]
+            if listener.total_bytes_received >= record.size and record.completed_at is None:
+                record.completed_at = now
+                if on_complete is not None:
+                    on_complete(record)
+
+        listener = TCPListener(self.host, reply_port, on_data=_on_data)
+        self._listeners[reply_port] = listener
+        self.socket.sendto(
+            REQUEST_BYTES,
+            self.server_addr,
+            self.server_port,
+            headers={"size": size, "reply_port": reply_port, "request_id": request_id},
+        )
+        return record
+
+    def close(self) -> None:
+        """Release the request socket and all response listeners."""
+        self.socket.close()
+        for listener in self._listeners.values():
+            listener.close()
+        self._listeners.clear()
+
+    def completed_fetches(self) -> List[FetchRecord]:
+        """All fetches whose responses have fully arrived."""
+        return [f for f in self.fetches if f.done]

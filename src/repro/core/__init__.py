@@ -1,0 +1,53 @@
+"""The Congestion Manager: the paper's primary contribution.
+
+Public surface:
+
+* :class:`CongestionManager` — the sender-side "kernel module".
+* :class:`LibCM` — the user-space library (control socket + select/ioctl).
+* Congestion controllers, schedulers, and the loss-mode constants used by
+  ``cm_update``.
+"""
+
+from .congestion import AimdWindowController, CongestionController, RateAimdController
+from .constants import (
+    CM_ECN_CONGESTION,
+    CM_NO_CONGESTION,
+    CM_PERSISTENT_CONGESTION,
+    CM_TRANSIENT_CONGESTION,
+    LOSS_MODES,
+)
+from .errors import CMError, FlowClosedError, NotRegisteredError, UnknownFlowError
+from .flow import DirectChannel, Flow, NotificationChannel
+from .libcm import ControlSocketChannel, LibCM
+from .macroflow import Macroflow
+from .manager import CongestionManager
+from .query import QueryResult
+from .rtt import RttEstimator
+from .scheduler import RoundRobinScheduler, Scheduler, WeightedRoundRobinScheduler
+
+__all__ = [
+    "CongestionManager",
+    "LibCM",
+    "ControlSocketChannel",
+    "Macroflow",
+    "Flow",
+    "DirectChannel",
+    "NotificationChannel",
+    "QueryResult",
+    "RttEstimator",
+    "CongestionController",
+    "AimdWindowController",
+    "RateAimdController",
+    "Scheduler",
+    "RoundRobinScheduler",
+    "WeightedRoundRobinScheduler",
+    "CMError",
+    "UnknownFlowError",
+    "FlowClosedError",
+    "NotRegisteredError",
+    "CM_NO_CONGESTION",
+    "CM_TRANSIENT_CONGESTION",
+    "CM_PERSISTENT_CONGESTION",
+    "CM_ECN_CONGESTION",
+    "LOSS_MODES",
+]

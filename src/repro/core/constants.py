@@ -1,0 +1,50 @@
+"""Shared constants for the Congestion Manager.
+
+The loss-mode values mirror the paper's ``cm_update`` semantics: the CM
+distinguishes *transient* congestion (one packet lost in a window, the TCP
+triple-duplicate-ACK case), *persistent* congestion (a retransmission
+timeout, signalled with the ``CM_LOST_FEEDBACK`` option in the paper), and
+congestion signalled by ECN marks rather than drops.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CM_NO_CONGESTION",
+    "CM_TRANSIENT_CONGESTION",
+    "CM_PERSISTENT_CONGESTION",
+    "CM_ECN_CONGESTION",
+    "LOSS_MODES",
+    "DEFAULT_RTT_SECONDS",
+    "MIN_RTO_SECONDS",
+    "MAX_RTO_SECONDS",
+    "MACROFLOW_IDLE_TIMEOUT",
+]
+
+#: Feedback reported no congestion: all bytes covered by the update arrived.
+CM_NO_CONGESTION = "no_congestion"
+#: Mild congestion: isolated loss within a window (TCP's three duplicate ACKs).
+CM_TRANSIENT_CONGESTION = "transient"
+#: Persistent congestion: a whole window (or feedback itself) was lost, the
+#: situation a TCP retransmission timeout signals (``CM_LOST_FEEDBACK``).
+CM_PERSISTENT_CONGESTION = "persistent"
+#: Congestion signalled by an ECN Congestion-Experienced mark (RFC 2481/3168).
+CM_ECN_CONGESTION = "ecn"
+
+LOSS_MODES = (
+    CM_NO_CONGESTION,
+    CM_TRANSIENT_CONGESTION,
+    CM_PERSISTENT_CONGESTION,
+    CM_ECN_CONGESTION,
+)
+
+#: RTT assumed before the first sample arrives (also TCP's classic initial RTO base).
+DEFAULT_RTT_SECONDS = 0.2
+#: Lower and upper clamps on the retransmission timeout.
+MIN_RTO_SECONDS = 0.2
+MAX_RTO_SECONDS = 60.0
+
+#: How long a macroflow's congestion state survives after its last flow
+#: closes.  Keeping it alive is what lets a later connection to the same
+#: destination skip slow start (the paper's Figure 7 benefit).
+MACROFLOW_IDLE_TIMEOUT = 120.0

@@ -1,0 +1,26 @@
+"""Exceptions raised by the Congestion Manager API."""
+
+from __future__ import annotations
+
+__all__ = ["CMError", "UnknownFlowError", "FlowClosedError", "NotRegisteredError"]
+
+
+class CMError(Exception):
+    """Base class for all Congestion Manager errors."""
+
+
+class UnknownFlowError(CMError):
+    """A ``cm_flowid`` was passed that the CM has never issued (or has retired)."""
+
+
+class FlowClosedError(CMError):
+    """The operation requires an open flow but ``cm_close`` was already called."""
+
+
+class NotRegisteredError(CMError):
+    """A callback-requiring operation was invoked before the callback was registered.
+
+    For example calling ``cm_request`` on a flow that never called
+    ``cm_register_send`` would leave the CM with no way to grant the
+    request.
+    """

@@ -1,0 +1,167 @@
+"""Flow schedulers: apportioning a macroflow's window among its flows.
+
+The congestion controller decides how much a macroflow may have in flight;
+the scheduler decides which constituent flow's pending ``cm_request`` is
+granted next.  The paper's implementation uses an unweighted round-robin
+scheduler; a weighted variant is provided for the ablation study.
+
+A scheduler only orders *requests* — each entry corresponds to one
+``cm_request`` call, i.e. permission to send up to one MTU.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Optional
+
+__all__ = ["Scheduler", "RoundRobinScheduler", "WeightedRoundRobinScheduler"]
+
+
+class Scheduler(ABC):
+    """Queue of pending send requests for the flows of one macroflow."""
+
+    name = "base"
+
+    @abstractmethod
+    def enqueue(self, flow_id: int) -> None:
+        """Record one pending request (one MTU's worth) for ``flow_id``."""
+
+    @abstractmethod
+    def next_flow(self) -> Optional[int]:
+        """Pop and return the flow whose request should be granted next."""
+
+    @abstractmethod
+    def pending_requests(self, flow_id: Optional[int] = None) -> int:
+        """Number of queued requests, in total or for one flow."""
+
+    @abstractmethod
+    def remove_flow(self, flow_id: int) -> None:
+        """Discard every pending request belonging to ``flow_id``."""
+
+    def has_pending(self) -> bool:
+        """True if any request is waiting."""
+        return self.pending_requests() > 0
+
+
+class RoundRobinScheduler(Scheduler):
+    """Unweighted round robin — the paper's default.
+
+    Each flow keeps a FIFO count of its pending requests and flows are
+    served in a circular order, one request per turn, which gives the
+    "loose ordering ... provided no flows are starved" behaviour §2.2.2
+    requires.
+    """
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        # OrderedDict preserves the service order; counts are pending requests.
+        self._pending: "OrderedDict[int, int]" = OrderedDict()
+
+    def enqueue(self, flow_id: int) -> None:
+        if flow_id in self._pending:
+            self._pending[flow_id] += 1
+        else:
+            self._pending[flow_id] = 1
+
+    def next_flow(self) -> Optional[int]:
+        if not self._pending:
+            return None
+        flow_id, count = next(iter(self._pending.items()))
+        if count <= 1:
+            del self._pending[flow_id]
+        else:
+            # Serve one request and rotate the flow to the back of the ring.
+            del self._pending[flow_id]
+            self._pending[flow_id] = count - 1
+        return flow_id
+
+    def pending_requests(self, flow_id: Optional[int] = None) -> int:
+        if flow_id is not None:
+            return self._pending.get(flow_id, 0)
+        return sum(self._pending.values())
+
+    def remove_flow(self, flow_id: int) -> None:
+        self._pending.pop(flow_id, None)
+
+
+class WeightedRoundRobinScheduler(Scheduler):
+    """Weighted round robin with per-flow credit counters.
+
+    Flows with weight *w* receive *w* grants per scheduling round.  Weights
+    default to 1, so with no explicit configuration this degenerates to the
+    unweighted scheduler.
+    """
+
+    name = "weighted-round-robin"
+
+    def __init__(self, default_weight: int = 1):
+        if default_weight < 1:
+            raise ValueError("default weight must be >= 1")
+        self.default_weight = default_weight
+        self._weights: Dict[int, int] = {}
+        self._queues: "OrderedDict[int, int]" = OrderedDict()
+        self._credits: Dict[int, int] = {}
+        self._ring: Deque[int] = deque()
+
+    def set_weight(self, flow_id: int, weight: int) -> None:
+        """Assign a relative weight to a flow (takes effect next round)."""
+        if weight < 1:
+            raise ValueError("weight must be >= 1")
+        self._weights[flow_id] = weight
+
+    def weight_of(self, flow_id: int) -> int:
+        """Current weight for a flow (the default when unset)."""
+        return self._weights.get(flow_id, self.default_weight)
+
+    def enqueue(self, flow_id: int) -> None:
+        if flow_id not in self._queues:
+            self._queues[flow_id] = 0
+            self._ring.append(flow_id)
+            self._credits.setdefault(flow_id, self.weight_of(flow_id))
+        self._queues[flow_id] += 1
+
+    def next_flow(self) -> Optional[int]:
+        attempts = len(self._ring)
+        while attempts > 0 and self._ring:
+            flow_id = self._ring[0]
+            pending = self._queues.get(flow_id, 0)
+            if pending == 0:
+                self._ring.popleft()
+                self._queues.pop(flow_id, None)
+                self._credits.pop(flow_id, None)
+                attempts -= 1
+                continue
+            if self._credits.get(flow_id, 0) <= 0:
+                # Out of credit: replenish and move to the back of the ring.
+                self._credits[flow_id] = self.weight_of(flow_id)
+                self._ring.rotate(-1)
+                attempts -= 1
+                continue
+            self._credits[flow_id] -= 1
+            self._queues[flow_id] -= 1
+            if self._queues[flow_id] == 0:
+                self._ring.popleft()
+                self._queues.pop(flow_id, None)
+                self._credits.pop(flow_id, None)
+            return flow_id
+        # Everybody was out of credit this pass; replenish and retry once.
+        if self._ring:
+            for flow_id in self._ring:
+                self._credits[flow_id] = self.weight_of(flow_id)
+            return self.next_flow()
+        return None
+
+    def pending_requests(self, flow_id: Optional[int] = None) -> int:
+        if flow_id is not None:
+            return self._queues.get(flow_id, 0)
+        return sum(self._queues.values())
+
+    def remove_flow(self, flow_id: int) -> None:
+        self._queues.pop(flow_id, None)
+        self._credits.pop(flow_id, None)
+        try:
+            self._ring.remove(flow_id)
+        except ValueError:
+            pass

@@ -1,0 +1,11 @@
+"""Experiment harnesses reproducing every table and figure in the paper.
+
+Each module exposes ``run(...) -> ExperimentResult``; the mapping from paper
+artifact to module is recorded in DESIGN.md's per-experiment index, and the
+``cm-experiments`` CLI (see :mod:`repro.experiments.runner`) runs them from
+the command line.
+"""
+
+from .base import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

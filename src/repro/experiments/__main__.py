@@ -1,0 +1,6 @@
+"""``python -m repro.experiments <name>`` — delegate to the CLI runner."""
+
+from .runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

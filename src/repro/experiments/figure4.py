@@ -1,0 +1,93 @@
+"""Figure 4: long-running TCP throughput, Congestion Manager vs. native TCP.
+
+Paper setup: ``ttcp`` transfers of 1448-byte buffers over switched 100 Mbps
+Ethernet, sweeping the number of buffers from 10^3 to 10^6.  The claim is
+that TCP/CM's throughput is essentially identical to native Linux TCP — the
+worst-case difference is 0.5 %, attributable to the CM's 1-MTU initial
+window rather than CPU overhead, and at gigabyte scale the two are equal.
+
+The same sweep also produces the CPU utilisation data for Figure 5, so the
+heavy lifting lives in :func:`bulk_sweep` and Figure 5 reuses it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..apps.bulk import BulkResult, BulkTransferApp
+from ..core import CongestionManager
+from .base import ExperimentResult
+from .topology import lan_pair
+
+__all__ = ["run", "bulk_sweep", "DEFAULT_BUFFER_COUNTS"]
+
+#: Buffer counts swept by default.  The paper goes to 10^6 buffers (1.45 GB);
+#: the default here stops at 10^5 to keep the harness runnable in minutes on
+#: an interpreter — pass a larger sequence to go further.
+DEFAULT_BUFFER_COUNTS = (1_000, 5_000, 20_000, 100_000)
+
+BUFFER_SIZE = 1448
+RECEIVE_WINDOW = 64 * 1024
+
+
+def bulk_sweep(
+    buffer_counts: Sequence[int] = DEFAULT_BUFFER_COUNTS,
+    progress: Optional[callable] = None,
+) -> Dict[str, List[Tuple[int, BulkResult]]]:
+    """Run the ttcp workload for both variants at every buffer count."""
+    outcomes: Dict[str, List[Tuple[int, BulkResult]]] = {"cm": [], "linux": []}
+    for nbuffers in buffer_counts:
+        for variant in ("linux", "cm"):
+            testbed = lan_pair(seed=7)
+            if variant == "cm":
+                CongestionManager(testbed.sender)
+            app = BulkTransferApp(
+                testbed.sender,
+                testbed.receiver,
+                variant=variant,
+                buffer_size=BUFFER_SIZE,
+                receive_window=RECEIVE_WINDOW,
+            )
+            outcome = app.run(testbed.sim, nbuffers)
+            app.close()
+            outcomes[variant].append((nbuffers, outcome))
+            if progress is not None:
+                progress(
+                    f"figure4 {variant} buffers={nbuffers} "
+                    f"thr={outcome.throughput_kbytes:.0f} KB/s cpu={outcome.cpu_utilization:.3f}"
+                )
+    return outcomes
+
+
+def run(
+    buffer_counts: Sequence[int] = DEFAULT_BUFFER_COUNTS,
+    progress: Optional[callable] = None,
+    sweep: Optional[Dict[str, List[Tuple[int, BulkResult]]]] = None,
+) -> ExperimentResult:
+    """Produce the Figure 4 throughput table."""
+    outcomes = sweep if sweep is not None else bulk_sweep(buffer_counts, progress)
+    result = ExperimentResult(
+        name="figure4",
+        title="100 Mbps TCP throughput comparison (KB/s)",
+        columns=["buffers", "cm_kBps", "linux_kBps", "difference_%"],
+    )
+    for (nbuffers, cm_result), (_n2, linux_result) in zip(outcomes["cm"], outcomes["linux"]):
+        difference = 0.0
+        if linux_result.throughput > 0:
+            difference = 100.0 * (linux_result.throughput - cm_result.throughput) / linux_result.throughput
+        result.add_row(
+            nbuffers,
+            cm_result.throughput_kbytes,
+            linux_result.throughput_kbytes,
+            difference,
+        )
+    result.notes.append(
+        "Paper: worst-case difference 0.5% (CM initial window of 1 MTU vs Linux's 2); "
+        "identical at gigabyte scale.  Short transfers amplify the initial-window gap here "
+        "because the sweep is truncated to interpreter-friendly sizes."
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(run().to_text())

@@ -1,0 +1,75 @@
+"""Command-line runner for the reproduction experiments.
+
+Usage (installed as the ``cm-experiments`` console script)::
+
+    cm-experiments figure3
+    cm-experiments figure7 figure8
+    cm-experiments all
+    python -m repro.experiments table1
+
+Each experiment prints the table/series it reproduces plus notes comparing
+against the paper's reported behaviour.  EXPERIMENTS.md records one full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from . import ablations, aggressiveness, figure3, figure4, figure5, figure6, figure7, figure8, figure9, figure10, table1
+from .base import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "table1": table1.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "figure9": figure9.run,
+    "figure10": figure10.run,
+    "ablations": ablations.run,
+    "aggressiveness": aggressiveness.run,
+}
+
+
+def run_experiment(name: str, verbose: bool = True) -> ExperimentResult:
+    """Run a single experiment by name."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+    progress = (lambda msg: print(f"  [{name}] {msg}", file=sys.stderr)) if verbose else None
+    return EXPERIMENTS[name](progress=progress)
+
+
+def main(argv: List[str] = None) -> int:
+    """Entry point for the ``cm-experiments`` script."""
+    parser = argparse.ArgumentParser(description="Reproduce the Congestion Manager paper's evaluation")
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment names (figure3..figure10, table1, ablations) or 'all'",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress progress messages")
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    exit_code = 0
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment: {name}", file=sys.stderr)
+            exit_code = 2
+            continue
+        started = time.time()
+        result = run_experiment(name, verbose=not args.quiet)
+        print(result.to_text())
+        print(f"({name} completed in {time.time() - started:.1f}s wall clock)\n")
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    raise SystemExit(main())

@@ -1,0 +1,109 @@
+"""Canned topologies matching the paper's two test environments.
+
+* :func:`lan_pair` — the Utah testbed configuration: two fast hosts on a
+  switched 100 Mbps Ethernet (used for the throughput / CPU / API-overhead
+  studies, Figures 4-6).
+* :func:`dummynet_pair` — the same hosts behind a Dummynet pipe with
+  configurable bandwidth, RTT and random loss (Figure 3).
+* :func:`wan_pair` — a vBNS-like wide-area path between MIT and Utah
+  (~75 ms RTT, ~2 MB/s available) used by the sharing and adaptation
+  studies (Figures 7-10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..hostmodel import HostCosts
+from ..netsim import Channel, Host, Simulator
+
+__all__ = ["Testbed", "lan_pair", "dummynet_pair", "wan_pair"]
+
+
+@dataclass
+class Testbed:
+    """A simulator plus one sender/receiver pair joined by a channel."""
+
+    sim: Simulator
+    sender: Host
+    receiver: Host
+    channel: Channel
+
+
+def _pair(
+    rate_bps: float,
+    one_way_delay: float,
+    loss_rate: float = 0.0,
+    queue_limit: int = 100,
+    ecn_threshold: Optional[int] = None,
+    seed: int = 0,
+    with_costs: bool = True,
+) -> Testbed:
+    sim = Simulator()
+    costs = HostCosts() if with_costs else None
+    sender = Host(sim, "sender", "10.1.0.1", costs=costs)
+    receiver = Host(sim, "receiver", "10.2.0.1", costs=HostCosts() if with_costs else None)
+    channel = Channel(
+        sim,
+        sender,
+        receiver,
+        rate_bps=rate_bps,
+        one_way_delay=one_way_delay,
+        queue_limit=queue_limit,
+        loss_rate=loss_rate,
+        reverse_loss_rate=0.0,
+        ecn_threshold=ecn_threshold,
+        seed=seed,
+    )
+    return Testbed(sim=sim, sender=sender, receiver=receiver, channel=channel)
+
+
+def lan_pair(seed: int = 0, with_costs: bool = True) -> Testbed:
+    """100 Mbps switched Ethernet, ~1 ms RTT, no loss (Figures 4-6)."""
+    return _pair(
+        rate_bps=100e6,
+        one_way_delay=0.5e-3,
+        loss_rate=0.0,
+        queue_limit=128,
+        seed=seed,
+        with_costs=with_costs,
+    )
+
+
+def dummynet_pair(
+    loss_rate: float,
+    rate_bps: float = 10e6,
+    rtt: float = 0.060,
+    queue_limit: int = 50,
+    seed: int = 0,
+    with_costs: bool = True,
+) -> Testbed:
+    """Dummynet-shaped path: 10 Mbps, 60 ms RTT, configurable loss (Figure 3)."""
+    return _pair(
+        rate_bps=rate_bps,
+        one_way_delay=rtt / 2.0,
+        loss_rate=loss_rate,
+        queue_limit=queue_limit,
+        seed=seed,
+        with_costs=with_costs,
+    )
+
+
+def wan_pair(
+    rate_bps: float = 16e6,
+    rtt: float = 0.075,
+    loss_rate: float = 0.0,
+    queue_limit: int = 60,
+    seed: int = 0,
+    with_costs: bool = True,
+) -> Testbed:
+    """vBNS-like MIT<->Utah wide-area path (Figures 7-10)."""
+    return _pair(
+        rate_bps=rate_bps,
+        one_way_delay=rtt / 2.0,
+        loss_rate=loss_rate,
+        queue_limit=queue_limit,
+        seed=seed,
+        with_costs=with_costs,
+    )

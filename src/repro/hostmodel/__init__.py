@@ -1,0 +1,9 @@
+"""End-host CPU cost model (system calls, crossings, copies).
+
+See :mod:`repro.hostmodel.costs` for the calibration rationale.
+"""
+
+from .costs import CostModel, OPERATIONS
+from .ledger import CpuLedger, HostCosts
+
+__all__ = ["CostModel", "OPERATIONS", "CpuLedger", "HostCosts"]

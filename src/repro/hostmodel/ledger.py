@@ -1,0 +1,121 @@
+"""CPU accounting ledger for a simulated end host.
+
+Components charge named operations (see
+:class:`~repro.hostmodel.costs.CostModel`) plus data-size-dependent costs
+(copies, checksums).  Experiments then read total busy time and utilisation
+to reproduce the paper's CPU-overhead comparisons (Figure 5) and per-packet
+API costs (Figure 6, Table 1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Optional
+
+from .costs import CostModel
+
+__all__ = ["CpuLedger", "HostCosts"]
+
+
+class CpuLedger:
+    """Accumulates CPU microseconds by category.
+
+    Categories are free-form strings; by convention they are either the
+    operation name (``"syscall"``, ``"ioctl"``) or a component label passed
+    explicitly (``"tcp"``, ``"cm"``).
+    """
+
+    def __init__(self) -> None:
+        self.busy_us_by_category: Dict[str, float] = defaultdict(float)
+        self.operation_counts: Counter = Counter()
+        self.total_us: float = 0.0
+
+    def charge(self, category: str, microseconds: float) -> None:
+        """Add ``microseconds`` of busy time under ``category``."""
+        if microseconds < 0:
+            raise ValueError("cannot charge negative CPU time")
+        self.busy_us_by_category[category] += microseconds
+        self.total_us += microseconds
+
+    def count(self, operation: str, times: int = 1) -> None:
+        """Record that ``operation`` happened ``times`` times (no CPU charge)."""
+        self.operation_counts[operation] += times
+
+    def utilization(self, elapsed_seconds: float) -> float:
+        """Fraction of ``elapsed_seconds`` the host CPU was busy (capped at 1)."""
+        if elapsed_seconds <= 0:
+            return 0.0
+        return min(1.0, self.total_us / 1e6 / elapsed_seconds)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Copy of the per-category busy time, for diffing in tests."""
+        return dict(self.busy_us_by_category)
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.busy_us_by_category.clear()
+        self.operation_counts.clear()
+        self.total_us = 0.0
+
+
+class HostCosts:
+    """Convenience facade bundling a :class:`CostModel` and a :class:`CpuLedger`.
+
+    Each simulated :class:`~repro.netsim.node.Host` owns one of these; the
+    IP layer, transports, the CM and libcm charge through it.
+    """
+
+    def __init__(self, model: Optional[CostModel] = None, ledger: Optional[CpuLedger] = None):
+        self.model = model or CostModel()
+        self.ledger = ledger or CpuLedger()
+
+    # ------------------------------------------------------------ primitives
+    def charge_operation(self, operation: str, count: int = 1, category: Optional[str] = None) -> float:
+        """Charge ``count`` occurrences of a named operation; returns µs charged."""
+        microseconds = self.model.price(operation) * count
+        self.ledger.charge(category or operation, microseconds)
+        self.ledger.count(operation, count)
+        return microseconds
+
+    def charge_copy(self, nbytes: int, category: str = "copy") -> float:
+        """Charge a kernel<->user data copy of ``nbytes`` bytes."""
+        microseconds = self.model.copy_per_kb * (nbytes / 1024.0)
+        self.ledger.charge(category, microseconds)
+        self.ledger.count("copy_bytes", nbytes)
+        return microseconds
+
+    def charge_checksum(self, nbytes: int, category: str = "checksum") -> float:
+        """Charge computing an Internet checksum over ``nbytes`` bytes."""
+        microseconds = self.model.checksum_per_kb * (nbytes / 1024.0)
+        self.ledger.charge(category, microseconds)
+        return microseconds
+
+    # ----------------------------------------------------- common composites
+    def syscall(self, operation: str = "syscall", category: Optional[str] = None) -> float:
+        """Charge a system call of the given flavour (trap plus the op itself)."""
+        total = self.charge_operation("syscall", category=category)
+        if operation != "syscall":
+            total += self.charge_operation(operation, category=category)
+        return total
+
+    def kernel_tx(self, nbytes: int) -> float:
+        """Charge the in-kernel transmit path for one packet of ``nbytes``."""
+        total = self.charge_operation("kernel_tx_packet", category="kernel")
+        total += self.charge_checksum(nbytes, category="kernel")
+        return total
+
+    def kernel_rx(self, nbytes: int) -> float:
+        """Charge the in-kernel receive path for one packet of ``nbytes``."""
+        total = self.charge_operation("kernel_rx_packet", category="kernel")
+        total += self.charge_checksum(nbytes, category="kernel")
+        return total
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def total_us(self) -> float:
+        """Total microseconds charged so far."""
+        return self.ledger.total_us
+
+    def utilization(self, elapsed_seconds: float) -> float:
+        """CPU utilisation over ``elapsed_seconds`` of simulated time."""
+        return self.ledger.utilization(elapsed_seconds)

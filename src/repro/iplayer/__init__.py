@@ -1,0 +1,5 @@
+"""IP layer: output routine with the ``cm_notify`` hook and protocol demux."""
+
+from .ip import IPLayer, NoRouteError
+
+__all__ = ["IPLayer", "NoRouteError"]

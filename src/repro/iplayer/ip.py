@@ -1,0 +1,134 @@
+"""The IP layer of a simulated host.
+
+Two behaviours in the paper live exactly here:
+
+* **cm_notify hook** — "we modify the IP output routine to call
+  ``cm_notify(cm_flowid, nsent)`` on each transmission" (§2.1.3).  The
+  :meth:`IPLayer.send` path looks the outgoing packet's flow up in the
+  host's Congestion Manager and notifies it of the bytes charged, so CM
+  clients never have to report their own transmissions.
+* **Protocol demultiplexing** — packets arriving for this host are handed
+  to the transport handler registered for ``(protocol, local port)``,
+  mirroring the in-kernel TCP/UDP input paths.
+
+Routers reuse the same class with :attr:`forwarding` enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..netsim.packet import Packet
+
+__all__ = ["IPLayer", "NoRouteError"]
+
+
+class NoRouteError(RuntimeError):
+    """Raised when a host has no route (and no default route) to a destination."""
+
+
+class IPLayer:
+    """Per-host IP send/receive/forward logic.
+
+    Parameters
+    ----------
+    host:
+        The owning :class:`~repro.netsim.node.Host` (provides the simulator,
+        address, routing table, cost ledger and optional CM).
+    """
+
+    def __init__(self, host) -> None:
+        self.host = host
+        #: Transport handlers keyed by ``(protocol, local_port)``; port 0 is
+        #: a wildcard matched when no exact entry exists.
+        self._handlers: Dict[Tuple[str, int], Callable[[Packet], None]] = {}
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.packets_forwarded = 0
+        self.packets_no_handler = 0
+        self.send_failures = 0
+
+    # ------------------------------------------------------------ demux setup
+    def register_handler(self, protocol: str, port: int, handler: Callable[[Packet], None]) -> None:
+        """Register ``handler(packet)`` for packets to ``(protocol, port)``."""
+        key = (protocol, port)
+        if key in self._handlers:
+            raise ValueError(f"handler already registered for {key}")
+        self._handlers[key] = handler
+
+    def unregister_handler(self, protocol: str, port: int) -> None:
+        """Remove a previously registered transport handler (no-op if absent)."""
+        self._handlers.pop((protocol, port), None)
+
+    # ----------------------------------------------------------------- output
+    def send(self, packet: Packet) -> bool:
+        """Transmit ``packet`` towards its destination.
+
+        Charges the in-kernel transmit cost, performs the ``cm_notify`` hook
+        for CM-managed flows, resolves the route, and hands the packet to
+        the outgoing link.  Returns ``True`` if the link accepted it.
+        """
+        packet.created_at = self.host.sim.now
+        if self.host.costs is not None:
+            self.host.costs.kernel_tx(packet.size)
+
+        self._cm_notify_hook(packet)
+
+        link = self.host.route_for(packet.dst)
+        if link is None:
+            raise NoRouteError(f"{self.host.name}: no route to {packet.dst}")
+        accepted = link.send(packet)
+        if accepted:
+            self.packets_sent += 1
+        else:
+            self.send_failures += 1
+        return accepted
+
+    def _cm_notify_hook(self, packet: Packet) -> None:
+        """Notify the host's CM of a transmission on one of its flows.
+
+        The kernel looks up the CM flow from the packet's addressing tuple
+        (the "well-defined CM interface that takes the flow parameters as
+        arguments" in the paper); unconnected sockets whose packets cannot
+        be matched are the clients that must call ``cm_notify`` explicitly.
+        """
+        cm = getattr(self.host, "cm", None)
+        if cm is None:
+            return
+        if not packet.cm_matchable:
+            return
+        flow_id = cm.lookup_flow(packet.src, packet.dst, packet.sport, packet.dport, packet.protocol)
+        if flow_id is None:
+            return
+        packet.flow_id = flow_id
+        cm.cm_notify(flow_id, packet.payload_bytes)
+
+    # ------------------------------------------------------------------ input
+    def receive(self, packet: Packet) -> None:
+        """Handle a packet delivered by an attached link."""
+        if packet.dst != self.host.addr and self.host.forwarding:
+            self._forward(packet)
+            return
+        if packet.dst != self.host.addr:
+            # Mis-delivered packet; drop silently (matches real IP behaviour).
+            return
+        if self.host.costs is not None:
+            self.host.costs.kernel_rx(packet.size)
+        self.packets_received += 1
+        handler = self._handlers.get((packet.protocol, packet.dport))
+        if handler is None:
+            handler = self._handlers.get((packet.protocol, 0))
+        if handler is None:
+            self.packets_no_handler += 1
+            return
+        handler(packet)
+
+    def _forward(self, packet: Packet) -> None:
+        """Router path: look up the next hop and retransmit unchanged."""
+        link = self.host.route_for(packet.dst)
+        if link is None:
+            # Routers drop unroutable packets rather than raising: end hosts
+            # probing a dead path should see loss, not a simulator crash.
+            return
+        self.packets_forwarded += 1
+        link.send(packet)

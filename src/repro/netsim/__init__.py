@@ -1,0 +1,47 @@
+"""Discrete-event network simulation substrate.
+
+This package replaces the paper's physical testbed (hosts, switched
+Ethernet, Dummynet shaping) with a deterministic simulator; see DESIGN.md
+for the substitution rationale.
+"""
+
+from .channel import Channel, Dumbbell, build_dumbbell
+from .engine import Event, SimulationError, Simulator, Timer
+from .link import Link, LinkStats
+from .node import Host, Router
+from .packet import (
+    DEFAULT_MSS,
+    DEFAULT_MTU,
+    IP_HEADER_BYTES,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP_HEADER_BYTES,
+    UDP_HEADER_BYTES,
+    Packet,
+)
+from .trace import PacketTrace, RateTracker, TraceRecord
+
+__all__ = [
+    "Channel",
+    "Dumbbell",
+    "build_dumbbell",
+    "Event",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "Link",
+    "LinkStats",
+    "Host",
+    "Router",
+    "Packet",
+    "PacketTrace",
+    "RateTracker",
+    "TraceRecord",
+    "DEFAULT_MSS",
+    "DEFAULT_MTU",
+    "IP_HEADER_BYTES",
+    "TCP_HEADER_BYTES",
+    "UDP_HEADER_BYTES",
+    "PROTO_TCP",
+    "PROTO_UDP",
+]

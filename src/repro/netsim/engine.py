@@ -1,0 +1,242 @@
+"""Discrete-event simulation engine.
+
+Every component in this reproduction (links, TCP timers, the Congestion
+Manager's rate callbacks, application send loops) takes its notion of time
+from a :class:`Simulator` instance rather than the wall clock.  This keeps
+the congestion-control dynamics deterministic and reproducible, which is the
+substitution this repository makes for the paper's physical testbed (see
+DESIGN.md).
+
+The engine is a classic event-heap simulator:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.at` push events onto a heap
+  and return an :class:`Event` handle that can be cancelled.
+* :meth:`Simulator.run` pops events in time order and invokes their
+  callbacks until the horizon, an event budget, or :meth:`Simulator.stop`.
+* :class:`Timer` wraps the common "restartable timeout" pattern used by TCP
+  retransmission timers and the CM's background tick.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+__all__ = ["Event", "Simulator", "Timer", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator is used inconsistently.
+
+    Examples include scheduling an event in the past or running a simulator
+    that has already been told to stop and then asked to resume with a
+    horizon earlier than the current time.
+    """
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`Simulator.schedule`; user code only
+    interacts with them to :meth:`cancel` a pending event or to inspect
+    :attr:`time`.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "dispatched")
+
+    def __init__(self, time: float, seq: int, callback: Callable, args: tuple, kwargs: dict):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+        self.dispatched = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; safe to call more than once."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and has not fired or been cancelled."""
+        return not self.cancelled and not self.dispatched
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("done" if self.dispatched else "pending")
+        return f"<Event t={self.time:.6f} {getattr(self.callback, '__name__', self.callback)} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated time in seconds.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._heap: List[tuple] = []
+        self._counter = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_dispatched = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(self, delay: float, callback: Callable, *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``callback(*args, **kwargs)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event {delay} seconds in the past")
+        return self.at(self._now + delay, callback, *args, **kwargs)
+
+    def at(self, time: float, callback: Callable, *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time:.6f}, simulator already at {self._now:.6f}"
+            )
+        event = Event(time, next(self._counter), callback, args, kwargs)
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    def call_soon(self, callback: Callable, *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``callback`` at the current time (after already-queued same-time events)."""
+        return self.at(self._now, callback, *args, **kwargs)
+
+    # ---------------------------------------------------------------- running
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event returns."""
+        self._stopped = True
+
+    def peek(self) -> Optional[float]:
+        """Return the time of the next pending event, or ``None`` if the heap is empty."""
+        while self._heap:
+            time, _seq, event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time
+        return None
+
+    def step(self) -> bool:
+        """Dispatch the single next pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the heap was empty.
+        """
+        while self._heap:
+            _time, _seq, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.dispatched = True
+            self.events_dispatched += 1
+            event.callback(*event.args, **event.kwargs)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the event heap drains, ``until`` is reached, or ``stop()`` is called.
+
+        Parameters
+        ----------
+        until:
+            Horizon in simulated seconds.  Events scheduled later than the
+            horizon are left on the heap; the clock is advanced to the
+            horizon when it is reached.
+        max_events:
+            Safety valve for tests; abort after this many dispatches.
+
+        Returns
+        -------
+        float
+            The simulated time at which the run ended.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"horizon {until} is before current time {self._now}")
+        self._running = True
+        self._stopped = False
+        dispatched = 0
+        try:
+            while not self._stopped:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if not self.step():
+                    break
+                dispatched += 1
+                if max_events is not None and dispatched >= max_events:
+                    break
+            else:
+                # stop() was requested; advance no further.
+                pass
+            if until is not None and not self._stopped and self.peek() is None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> float:
+        """Run until no events remain (convenience wrapper over :meth:`run`)."""
+        return self.run(until=None, max_events=max_events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.6f} pending={len(self._heap)}>"
+
+
+class Timer:
+    """A restartable one-shot timer bound to a simulator.
+
+    This mirrors how kernel code uses timers: the owner calls
+    :meth:`restart` whenever the timeout should be pushed back (for example
+    when a TCP ACK advances the window), :meth:`cancel` when the timer is no
+    longer needed, and the ``callback`` fires if the timeout expires first.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable, *args: Any, **kwargs: Any):
+        self._sim = sim
+        self._callback = callback
+        self._args = args
+        self._kwargs = kwargs
+        self._event: Optional[Event] = None
+
+    @property
+    def pending(self) -> bool:
+        """True if the timer is armed and has not yet fired."""
+        return self._event is not None and self._event.pending
+
+    @property
+    def expires_at(self) -> Optional[float]:
+        """Absolute expiry time, or ``None`` when the timer is not armed."""
+        if self.pending:
+            return self._event.time
+        return None
+
+    def start(self, delay: float) -> None:
+        """Arm the timer ``delay`` seconds from now; restarts if already armed."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    # ``restart`` reads better at call sites that are refreshing a timeout.
+    restart = start
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback(*self._args, **self._kwargs)

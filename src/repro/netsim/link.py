@@ -1,0 +1,196 @@
+"""Unidirectional links with finite queues, loss and ECN marking.
+
+A :class:`Link` models the three things congestion control reacts to:
+
+* serialisation delay (``size * 8 / rate_bps``),
+* propagation delay,
+* a finite FIFO queue with drop-tail behaviour (the de-facto router default
+  the paper discusses), optional random loss (the Dummynet configuration the
+  paper used for Figure 3), and optional ECN marking above a queue
+  threshold.
+
+Statistics are kept per link so experiments can report drops, utilisation
+and queueing delay.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional
+
+from .engine import Simulator
+from .packet import Packet
+
+__all__ = ["Link", "LinkStats"]
+
+
+@dataclass
+class LinkStats:
+    """Counters maintained by a :class:`Link`."""
+
+    enqueued_packets: int = 0
+    delivered_packets: int = 0
+    delivered_bytes: int = 0
+    dropped_overflow: int = 0
+    dropped_random: int = 0
+    ecn_marked: int = 0
+    busy_time: float = 0.0
+    queue_delay_total: float = 0.0
+
+    @property
+    def dropped_packets(self) -> int:
+        """Total packets lost on this link for any reason."""
+        return self.dropped_overflow + self.dropped_random
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds the link spent transmitting."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def mean_queue_delay(self) -> float:
+        """Average time a delivered packet spent queued before transmission."""
+        if self.delivered_packets == 0:
+            return 0.0
+        return self.queue_delay_total / self.delivered_packets
+
+
+class Link:
+    """A unidirectional, rate-limited, store-and-forward link.
+
+    Parameters
+    ----------
+    sim:
+        The simulation clock.
+    rate_bps:
+        Transmission rate in bits per second.
+    delay:
+        One-way propagation delay in seconds.
+    queue_limit:
+        Maximum number of packets that may wait for transmission (the packet
+        currently being serialised does not count).  ``None`` means
+        unbounded.
+    loss_rate:
+        Independent per-packet random drop probability, applied before
+        queueing (this is how Dummynet injects loss).
+    ecn_threshold:
+        If set, packets that arrive when the queue already holds at least
+        this many packets are ECN-marked instead of dropped, provided the
+        packet is ECN-capable; non-ECN-capable packets are unaffected.
+    seed:
+        Seed for the private random generator used for loss decisions, so a
+        given experiment is reproducible.
+    name:
+        Optional label used in traces and ``repr``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        delay: float,
+        queue_limit: Optional[int] = 100,
+        loss_rate: float = 0.0,
+        ecn_threshold: Optional[int] = None,
+        seed: int = 0,
+        name: str = "link",
+    ):
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if delay < 0:
+            raise ValueError("link delay must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.sim = sim
+        self.rate_bps = float(rate_bps)
+        self.delay = float(delay)
+        self.queue_limit = queue_limit
+        self.loss_rate = float(loss_rate)
+        self.ecn_threshold = ecn_threshold
+        self.name = name
+        self.stats = LinkStats()
+        self._rng = random.Random(seed)
+        self._queue: Deque[tuple] = deque()  # (packet, enqueue_time)
+        self._busy = False
+        self._receiver: Optional[Callable[[Packet], None]] = None
+        self._drop_hook: Optional[Callable[[Packet, str], None]] = None
+
+    # ------------------------------------------------------------- attachment
+    def attach(self, receiver: Callable[[Packet], None]) -> None:
+        """Set the callable that receives packets at the far end of the link."""
+        self._receiver = receiver
+
+    def on_drop(self, hook: Callable[[Packet, str], None]) -> None:
+        """Register an observer invoked with ``(packet, reason)`` on every drop."""
+        self._drop_hook = hook
+
+    # ------------------------------------------------------------------ state
+    @property
+    def queue_length(self) -> int:
+        """Number of packets waiting (not counting the one in transmission)."""
+        return len(self._queue)
+
+    def transmission_time(self, packet: Packet) -> float:
+        """Serialisation delay for ``packet`` on this link."""
+        return packet.size * 8.0 / self.rate_bps
+
+    # ------------------------------------------------------------------- send
+    def send(self, packet: Packet) -> bool:
+        """Offer ``packet`` to the link.
+
+        Returns ``True`` if the packet was accepted (queued or started
+        transmitting) and ``False`` if it was dropped.
+        """
+        if self._receiver is None:
+            raise RuntimeError(f"{self.name}: no receiver attached")
+
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.stats.dropped_random += 1
+            self._notify_drop(packet, "random")
+            return False
+
+        if self.ecn_threshold is not None and packet.ecn_capable and self.queue_length >= self.ecn_threshold:
+            packet.ecn_marked = True
+            self.stats.ecn_marked += 1
+
+        if self.queue_limit is not None and self.queue_length >= self.queue_limit:
+            self.stats.dropped_overflow += 1
+            self._notify_drop(packet, "overflow")
+            return False
+
+        self.stats.enqueued_packets += 1
+        self._queue.append((packet, self.sim.now))
+        if not self._busy:
+            self._start_next()
+        return True
+
+    # -------------------------------------------------------------- internals
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        packet, enqueue_time = self._queue.popleft()
+        self.stats.queue_delay_total += self.sim.now - enqueue_time
+        tx_time = self.transmission_time(packet)
+        self.stats.busy_time += tx_time
+        self.sim.schedule(tx_time, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        # Propagation happens in parallel with the next serialisation.
+        self.sim.schedule(self.delay, self._deliver, packet)
+        self._start_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.stats.delivered_packets += 1
+        self.stats.delivered_bytes += packet.size
+        self._receiver(packet)
+
+    def _notify_drop(self, packet: Packet, reason: str) -> None:
+        if self._drop_hook is not None:
+            self._drop_hook(packet, reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} {self.rate_bps/1e6:.1f}Mbps {self.delay*1000:.1f}ms q={self.queue_length}>"

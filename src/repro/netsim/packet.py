@@ -1,0 +1,123 @@
+"""Packet model shared by the IP layer, transports, links and traces.
+
+A :class:`Packet` is deliberately protocol-agnostic: transport protocols put
+their header fields in :attr:`Packet.headers` (a plain dict) and the
+simulator only cares about sizes, addressing and ECN bits.  This mirrors the
+way the paper's CM treats transmissions: it charges bytes to macroflows
+without interpreting transport headers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "Packet",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "IP_HEADER_BYTES",
+    "TCP_HEADER_BYTES",
+    "UDP_HEADER_BYTES",
+    "DEFAULT_MTU",
+    "DEFAULT_MSS",
+]
+
+#: Protocol identifiers used for IP demultiplexing.
+PROTO_TCP = "tcp"
+PROTO_UDP = "udp"
+
+#: Fixed header sizes, matching the classic IPv4/TCP/UDP wire sizes the
+#: paper's 1448-byte Ethernet payloads imply (1500 MTU - 20 IP - 32 TCP+opts).
+IP_HEADER_BYTES = 20
+TCP_HEADER_BYTES = 32  # 20 bytes base + 12 bytes of RFC 1323 timestamp options
+UDP_HEADER_BYTES = 8
+
+#: Default link MTU (Ethernet) and the TCP MSS it yields.
+DEFAULT_MTU = 1500
+DEFAULT_MSS = DEFAULT_MTU - IP_HEADER_BYTES - TCP_HEADER_BYTES
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """A simulated datagram.
+
+    Attributes
+    ----------
+    src, dst:
+        End-host addresses (opaque strings, e.g. ``"10.0.0.1"``).
+    sport, dport:
+        Transport port numbers.
+    protocol:
+        ``"tcp"`` or ``"udp"``; used by the IP layer for demultiplexing.
+    payload_bytes:
+        Number of application bytes carried (may be zero for pure ACKs).
+    headers:
+        Transport- and application-level header fields (sequence numbers,
+        ACK numbers, timestamps, layer identifiers, ...).
+    ecn_capable / ecn_marked:
+        Explicit Congestion Notification support and congestion-experienced
+        marking applied by a router/link.
+    flow_id:
+        Annotation filled in by the sending host's IP layer so that the
+        Congestion Manager can be notified (``cm_notify``) of transmissions
+        belonging to CM-managed flows.
+    """
+
+    src: str
+    dst: str
+    sport: int
+    dport: int
+    protocol: str
+    payload_bytes: int = 0
+    headers: Dict[str, Any] = field(default_factory=dict)
+    ecn_capable: bool = False
+    ecn_marked: bool = False
+    flow_id: Optional[int] = None
+    #: Whether the sending kernel can match this packet to a CM flow on its
+    #: own.  True for TCP and for connected UDP sockets; False for
+    #: unconnected UDP sockets, whose applications must call ``cm_notify``
+    #: explicitly (the paper's "ALF/noconnect" case).
+    cm_matchable: bool = True
+    created_at: float = 0.0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def header_bytes(self) -> int:
+        """Total network + transport header bytes for this packet."""
+        if self.protocol == PROTO_TCP:
+            return IP_HEADER_BYTES + TCP_HEADER_BYTES
+        return IP_HEADER_BYTES + UDP_HEADER_BYTES
+
+    @property
+    def size(self) -> int:
+        """Total on-the-wire size in bytes (headers plus payload)."""
+        return self.header_bytes + self.payload_bytes
+
+    @property
+    def flow_key(self) -> tuple:
+        """5-tuple identifying the flow this packet belongs to."""
+        return (self.src, self.dst, self.sport, self.dport, self.protocol)
+
+    def reply_template(self) -> "Packet":
+        """Build an empty packet addressed back to this packet's sender.
+
+        Used by receivers (TCP ACKs, UDP application-level acknowledgements)
+        so that the reverse-path addressing is always consistent.
+        """
+        return Packet(
+            src=self.dst,
+            dst=self.src,
+            sport=self.dport,
+            dport=self.sport,
+            protocol=self.protocol,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet #{self.packet_id} {self.protocol} {self.src}:{self.sport}->"
+            f"{self.dst}:{self.dport} {self.payload_bytes}B {self.headers}>"
+        )

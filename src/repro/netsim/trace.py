@@ -1,0 +1,96 @@
+"""Packet and rate tracing helpers.
+
+Experiments in the paper's evaluation (Figures 8-10) plot transmission rate
+over time; :class:`RateTracker` produces exactly that kind of binned
+time-series from per-packet events, and :class:`PacketTrace` keeps a raw
+event log useful in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["TraceRecord", "PacketTrace", "RateTracker"]
+
+
+@dataclass
+class TraceRecord:
+    """One logged packet event."""
+
+    time: float
+    event: str  # "send", "recv", "drop", "ack"
+    src: str
+    dst: str
+    size: int
+    info: dict = field(default_factory=dict)
+
+
+class PacketTrace:
+    """Append-only log of packet events.
+
+    The trace is intentionally simple: experiments filter it with Python
+    list comprehensions rather than a query language.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def log(self, time: float, event: str, src: str, dst: str, size: int, **info) -> None:
+        """Append one event to the trace."""
+        self.records.append(TraceRecord(time, event, src, dst, size, dict(info)))
+
+    def events(self, kind: Optional[str] = None) -> List[TraceRecord]:
+        """Return all records, optionally restricted to one event kind."""
+        if kind is None:
+            return list(self.records)
+        return [r for r in self.records if r.event == kind]
+
+    def bytes_between(self, start: float, end: float, kind: str = "recv") -> int:
+        """Total bytes for ``kind`` events with ``start <= time < end``."""
+        return sum(r.size for r in self.records if r.event == kind and start <= r.time < end)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class RateTracker:
+    """Bin byte counts into fixed-width intervals and report rates.
+
+    Used to reproduce the "Transmission Rate" and "Rate reported by CM"
+    series in Figures 8-10.
+    """
+
+    def __init__(self, bin_width: float = 0.5):
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        self.bin_width = bin_width
+        self._bins: Dict[int, int] = {}
+
+    def record(self, time: float, nbytes: int) -> None:
+        """Account ``nbytes`` transmitted/observed at simulated ``time``."""
+        index = int(time // self.bin_width)
+        self._bins[index] = self._bins.get(index, 0) + nbytes
+
+    def series(self) -> List[Tuple[float, float]]:
+        """Return ``(bin_start_time, rate_bytes_per_second)`` points, sorted by time.
+
+        Empty bins between the first and last observation are reported as
+        zero so plots show stalls rather than interpolating over them.
+        """
+        if not self._bins:
+            return []
+        lo = min(self._bins)
+        hi = max(self._bins)
+        out = []
+        for index in range(lo, hi + 1):
+            nbytes = self._bins.get(index, 0)
+            out.append((index * self.bin_width, nbytes / self.bin_width))
+        return out
+
+    def mean_rate(self) -> float:
+        """Average rate in bytes/second over the observed span."""
+        points = self.series()
+        if not points:
+            return 0.0
+        return sum(rate for _t, rate in points) / len(points)

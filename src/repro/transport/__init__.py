@@ -1,0 +1,15 @@
+"""Transport protocols implemented as CM clients (TCP) and substrates (UDP)."""
+
+from .tcp import CMTCPSender, RenoTCPSender, TCPListener, TCPReceiverConnection
+from .udp import AckReflector, AppFeedbackTracker, CMUDPSocket, UDPSocket
+
+__all__ = [
+    "RenoTCPSender",
+    "CMTCPSender",
+    "TCPListener",
+    "TCPReceiverConnection",
+    "UDPSocket",
+    "CMUDPSocket",
+    "AckReflector",
+    "AppFeedbackTracker",
+]

@@ -1,0 +1,14 @@
+"""TCP: the native Reno-style baseline (TCP/Linux) and TCP/CM."""
+
+from .receiver import TCPListener, TCPReceiverConnection
+from .reno import RenoTCPSender
+from .sender import TCPSenderBase
+from .tcp_cm import CMTCPSender
+
+__all__ = [
+    "TCPSenderBase",
+    "RenoTCPSender",
+    "CMTCPSender",
+    "TCPListener",
+    "TCPReceiverConnection",
+]

@@ -1,0 +1,125 @@
+"""TCP/Linux baseline: a Reno/NewReno-style sender with its own congestion control.
+
+This is the comparison point the paper calls "TCP/Linux": a conventional TCP
+sender whose congestion window lives inside the connection.  Two
+era-accurate details matter for reproducing the evaluation's small gaps
+between TCP/Linux and TCP/CM:
+
+* the initial window is **2 segments** (the CM uses 1 MTU), and
+* window growth is **packet-counting** — each ACK is assumed to cover a full
+  MSS — whereas the CM does byte counting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...netsim.node import Host
+from ...netsim.packet import DEFAULT_MSS
+from .sender import DEFAULT_RECEIVE_WINDOW, TCPSenderBase
+
+__all__ = ["RenoTCPSender"]
+
+
+class RenoTCPSender(TCPSenderBase):
+    """Native TCP sender with slow start, AIMD, fast retransmit and recovery."""
+
+    variant = "tcp-linux"
+
+    def __init__(
+        self,
+        host: Host,
+        dst: str,
+        dport: int,
+        sport: Optional[int] = None,
+        mss: int = DEFAULT_MSS,
+        receive_window: int = DEFAULT_RECEIVE_WINDOW,
+        initial_window_segments: int = 2,
+        ecn: bool = False,
+    ):
+        super().__init__(host, dst, dport, sport=sport, mss=mss,
+                         receive_window=receive_window, ecn=ecn)
+        if initial_window_segments < 1:
+            raise ValueError("initial window must be at least one segment")
+        self.cwnd = float(initial_window_segments * mss)
+        self.ssthresh = float(receive_window)
+        self.in_recovery = False
+        self._recover_point = 0
+        self._ecn_reaction_point = 0
+        self.fast_retransmits = 0
+
+    # ------------------------------------------------------------ congestion
+    @property
+    def effective_window(self) -> float:
+        """min(cwnd, receiver window) — the sending limit right now."""
+        return min(self.cwnd, float(self.receive_window))
+
+    def _on_send_opportunity(self) -> None:
+        if not self.connected:
+            return
+        while True:
+            length = self._next_new_segment_length()
+            if length <= 0:
+                return
+            if self.flight_size + length > self.effective_window:
+                return
+            self._transmit_segment(self.snd_nxt, length, retransmission=False)
+            self.snd_nxt += length
+
+    def _on_new_ack(self, bytes_acked: int, rtt_sample: float, ecn_echo: bool) -> None:
+        if self.in_recovery:
+            if self.snd_una >= self._recover_point:
+                # Full recovery: deflate the window back to ssthresh.
+                self.cwnd = self.ssthresh
+                self.in_recovery = False
+            else:
+                # Partial ACK (NewReno): retransmit the next hole and stay in
+                # recovery without further window reduction.
+                self._retransmit_head()
+                self.cwnd = max(self.ssthresh, self.cwnd - bytes_acked + self.mss)
+            return
+        if ecn_echo:
+            self._ecn_congestion_reaction()
+        if self.cwnd < self.ssthresh:
+            # Slow start, packet-counting: +1 MSS per ACK regardless of the
+            # number of bytes the ACK actually covered (the Linux behaviour
+            # the paper contrasts with the CM's byte counting).
+            self.cwnd += self.mss
+        else:
+            self.cwnd += self.mss * self.mss / self.cwnd
+        self.cwnd = min(self.cwnd, float(self.receive_window))
+
+    def _on_dupack(self, count: int, ecn_echo: bool) -> None:
+        if self.in_recovery:
+            # Window inflation: each further dupack means a segment left the pipe.
+            self.cwnd += self.mss
+            self._on_send_opportunity()
+            return
+        if count == 3:
+            self.ssthresh = max(self.flight_size / 2.0, 2.0 * self.mss)
+            self.fast_retransmits += 1
+            self.in_recovery = True
+            self._recover_point = self.snd_nxt
+            self._retransmit_head()
+            self.cwnd = self.ssthresh + 3.0 * self.mss
+        if ecn_echo:
+            self._ecn_congestion_reaction()
+
+    def _on_timeout(self) -> None:
+        self.ssthresh = max(self.flight_size / 2.0, 2.0 * self.mss)
+        self.cwnd = float(self.mss)
+        self.in_recovery = False
+
+    # -------------------------------------------------------------- internals
+    def _retransmit_head(self) -> None:
+        length = min(self.mss, self.app_limit - self.snd_una)
+        if length > 0:
+            self._transmit_segment(self.snd_una, length, retransmission=True)
+
+    def _ecn_congestion_reaction(self) -> None:
+        # React at most once per window of data (RFC 3168 behaviour).
+        if self.snd_una < self._ecn_reaction_point:
+            return
+        self.ssthresh = max(self.flight_size / 2.0, 2.0 * self.mss)
+        self.cwnd = self.ssthresh
+        self._ecn_reaction_point = self.snd_nxt

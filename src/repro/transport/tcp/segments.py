@@ -1,0 +1,108 @@
+"""TCP segment construction helpers.
+
+Segments are ordinary :class:`~repro.netsim.packet.Packet` objects whose
+``headers`` dict carries the TCP fields this reproduction needs: byte
+sequence/acknowledgement numbers, SYN/FIN flags, and RFC 1323-style
+timestamp / timestamp-echo values used for RTT measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...netsim.packet import PROTO_TCP, Packet
+
+__all__ = ["data_segment", "ack_segment", "syn_segment", "synack_segment", "fin_segment"]
+
+
+def data_segment(
+    src: str,
+    dst: str,
+    sport: int,
+    dport: int,
+    seq: int,
+    length: int,
+    timestamp: float,
+    retransmission: bool = False,
+    ecn_capable: bool = False,
+) -> Packet:
+    """Build a data-bearing segment starting at byte ``seq``."""
+    return Packet(
+        src=src,
+        dst=dst,
+        sport=sport,
+        dport=dport,
+        protocol=PROTO_TCP,
+        payload_bytes=length,
+        ecn_capable=ecn_capable,
+        headers={
+            "seq": seq,
+            "len": length,
+            "ts": timestamp,
+            "retransmission": retransmission,
+        },
+    )
+
+
+def ack_segment(
+    src: str,
+    dst: str,
+    sport: int,
+    dport: int,
+    ack: int,
+    ts_echo: Optional[float],
+    ecn_echo: bool = False,
+) -> Packet:
+    """Build a pure acknowledgement for all bytes below ``ack``."""
+    return Packet(
+        src=src,
+        dst=dst,
+        sport=sport,
+        dport=dport,
+        protocol=PROTO_TCP,
+        payload_bytes=0,
+        headers={
+            "ack": ack,
+            "ts_echo": ts_echo,
+            "ecn_echo": ecn_echo,
+        },
+    )
+
+
+def syn_segment(src: str, dst: str, sport: int, dport: int, timestamp: float) -> Packet:
+    """Connection-request segment (consumes no sequence space in this model)."""
+    return Packet(
+        src=src,
+        dst=dst,
+        sport=sport,
+        dport=dport,
+        protocol=PROTO_TCP,
+        payload_bytes=0,
+        headers={"syn": True, "ts": timestamp},
+    )
+
+
+def synack_segment(src: str, dst: str, sport: int, dport: int, ts_echo: float) -> Packet:
+    """Listener's reply completing the (simplified two-way) handshake."""
+    return Packet(
+        src=src,
+        dst=dst,
+        sport=sport,
+        dport=dport,
+        protocol=PROTO_TCP,
+        payload_bytes=0,
+        headers={"syn": True, "ack": 0, "ts_echo": ts_echo},
+    )
+
+
+def fin_segment(src: str, dst: str, sport: int, dport: int, seq: int) -> Packet:
+    """Half-close marker sent after the last data byte."""
+    return Packet(
+        src=src,
+        dst=dst,
+        sport=sport,
+        dport=dport,
+        protocol=PROTO_TCP,
+        payload_bytes=0,
+        headers={"fin": True, "seq": seq},
+    )

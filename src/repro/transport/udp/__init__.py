@@ -1,0 +1,7 @@
+"""UDP: plain sockets, CM-paced (buffered) sockets, and app-level feedback."""
+
+from .feedback import AckReflector, AppFeedbackTracker, FeedbackReport
+from .socket import UDPSocket
+from .udpcc import CMUDPSocket
+
+__all__ = ["UDPSocket", "CMUDPSocket", "AckReflector", "AppFeedbackTracker", "FeedbackReport"]

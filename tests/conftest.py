@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CongestionManager, HostCosts
+from repro.netsim import Channel, Host, Simulator
+
+
+@pytest.fixture
+def sim():
+    """A fresh simulator."""
+    return Simulator()
+
+
+class PairTestbed:
+    """Two hosts joined by a configurable channel, with helpers for tests."""
+
+    def __init__(self, sim, rate_bps=10e6, one_way_delay=0.01, loss_rate=0.0,
+                 queue_limit=100, ecn_threshold=None, seed=0, with_cm=False):
+        self.sim = sim
+        self.sender = Host(sim, "sender", "10.0.0.1", costs=HostCosts())
+        self.receiver = Host(sim, "receiver", "10.0.0.2", costs=HostCosts())
+        self.channel = Channel(
+            sim, self.sender, self.receiver,
+            rate_bps=rate_bps, one_way_delay=one_way_delay, loss_rate=loss_rate,
+            reverse_loss_rate=0.0, queue_limit=queue_limit,
+            ecn_threshold=ecn_threshold, seed=seed,
+        )
+        self.cm = CongestionManager(self.sender) if with_cm else None
+
+
+@pytest.fixture
+def make_pair(sim):
+    """Factory fixture building a sender/receiver pair on the shared simulator."""
+
+    def _make(**kwargs):
+        return PairTestbed(sim, **kwargs)
+
+    return _make
+
+
+@pytest.fixture
+def cm_pair(make_pair):
+    """A host pair with a Congestion Manager installed on the sender."""
+    return make_pair(with_cm=True)

@@ -1,0 +1,59 @@
+"""Tests for the analysis/metrics helpers."""
+
+import pytest
+
+from repro.analysis import (
+    jain_fairness,
+    mean,
+    oscillation_count,
+    relative_difference,
+    series_max,
+    series_mean,
+    throughput_bytes_per_second,
+)
+
+
+class TestThroughput:
+    def test_basic(self):
+        assert throughput_bytes_per_second(1000, 2.0) == 500.0
+
+    def test_zero_elapsed(self):
+        assert throughput_bytes_per_second(1000, 0.0) == 0.0
+
+
+class TestJainFairness:
+    def test_equal_shares_are_perfectly_fair(self):
+        assert jain_fairness([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_single_user_of_n(self):
+        assert jain_fairness([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jain_fairness([]) == 0.0
+        assert jain_fairness([0, 0]) == 1.0
+
+    def test_bounded(self):
+        value = jain_fairness([1, 2, 3, 4, 100])
+        assert 0 < value <= 1
+
+
+class TestSmallHelpers:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_relative_difference(self):
+        assert relative_difference(100, 90) == pytest.approx(0.1)
+        assert relative_difference(0, 0) == 0.0
+
+    def test_series_helpers(self):
+        series = [(0.0, 10.0), (1.0, 30.0)]
+        assert series_mean(series) == 20.0
+        assert series_max(series) == 30.0
+        assert series_mean([]) == 0.0
+        assert series_max([]) == 0.0
+
+    def test_oscillation_count(self):
+        assert oscillation_count([1, 1, 2, 2, 1, 3]) == 3
+        assert oscillation_count([]) == 0
+        assert oscillation_count([5]) == 0

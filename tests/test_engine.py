@@ -1,0 +1,189 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.netsim.engine import SimulationError, Simulator, Timer
+
+
+class TestScheduling:
+    def test_initial_time_is_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start=5.0).now == 5.0
+
+    def test_events_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(0.3, order.append, "c")
+        sim.schedule(0.1, order.append, "a")
+        sim.schedule(0.2, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_in_schedule_order(self, sim):
+        order = []
+        for name in "abcd":
+            sim.schedule(1.0, order.append, name)
+        sim.run()
+        assert order == list("abcd")
+
+    def test_clock_advances_to_event_time(self, sim):
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_at_in_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(0.5, lambda: None)
+
+    def test_call_soon_runs_after_current_event(self, sim):
+        order = []
+
+        def first():
+            order.append("first")
+            sim.call_soon(order.append, "soon")
+            order.append("still-first")
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "still-first", "soon"]
+
+    def test_kwargs_passed_to_callback(self, sim):
+        seen = {}
+        sim.schedule(0.1, lambda **kw: seen.update(kw), value=42)
+        sim.run()
+        assert seen == {"value": 42}
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(1.0, fired.append, 1)
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert not event.pending
+
+    def test_pending_lifecycle(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        assert event.pending
+        sim.run()
+        assert not event.pending
+
+
+class TestRun:
+    def test_run_until_horizon_leaves_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(5.0, fired.append, "late")
+        end = sim.run(until=2.0)
+        assert fired == ["early"]
+        assert end == 2.0
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_run_with_no_events_advances_to_horizon(self, sim):
+        assert sim.run(until=3.0) == 3.0
+        assert sim.now == 3.0
+
+    def test_run_until_before_now_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=0.5)
+
+    def test_max_events_limits_dispatch(self, sim):
+        fired = []
+        for i in range(10):
+            sim.schedule(0.1 * (i + 1), fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_stop_halts_run(self, sim):
+        fired = []
+        sim.schedule(0.1, fired.append, 1)
+        sim.schedule(0.2, sim.stop)
+        sim.schedule(0.3, fired.append, 2)
+        sim.run()
+        assert fired == [1]
+
+    def test_events_dispatched_counter(self, sim):
+        for _ in range(5):
+            sim.schedule(0.1, lambda: None)
+        sim.run()
+        assert sim.events_dispatched == 5
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_peek_skips_cancelled(self, sim):
+        event = sim.schedule(0.5, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        event.cancel()
+        assert sim.peek() == 1.0
+
+    def test_peek_empty_returns_none(self, sim):
+        assert sim.peek() is None
+
+    def test_run_until_idle(self, sim):
+        fired = []
+        sim.schedule(0.5, fired.append, 1)
+        sim.run_until_idle()
+        assert fired == [1]
+
+
+class TestTimer:
+    def test_timer_fires_after_delay(self, sim):
+        fired = []
+        timer = Timer(sim, fired.append, "x")
+        timer.start(1.0)
+        sim.run()
+        assert fired == ["x"]
+
+    def test_timer_restart_pushes_back_expiry(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        sim.schedule(0.5, timer.restart, 1.0)
+        sim.run()
+        assert fired == [1.5]
+
+    def test_timer_cancel_prevents_fire(self, sim):
+        fired = []
+        timer = Timer(sim, fired.append, 1)
+        timer.start(1.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_timer_pending_and_expiry(self, sim):
+        timer = Timer(sim, lambda: None)
+        assert not timer.pending
+        assert timer.expires_at is None
+        timer.start(2.0)
+        assert timer.pending
+        assert timer.expires_at == pytest.approx(2.0)
+        sim.run()
+        assert not timer.pending
+
+    def test_timer_can_be_restarted_after_firing(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        sim.run()
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0]

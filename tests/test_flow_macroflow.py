@@ -1,0 +1,166 @@
+"""Tests for flow records and macroflow accounting."""
+
+import pytest
+
+from repro.core import AimdWindowController, RoundRobinScheduler, CM_NO_CONGESTION, CM_TRANSIENT_CONGESTION
+from repro.core.flow import DirectChannel, Flow
+from repro.core.macroflow import Macroflow
+from repro.netsim import Simulator
+
+MTU = 1500
+
+
+def make_flow(flow_id=1, sim=None):
+    sim = sim or Simulator()
+    return Flow(flow_id, "10.0.0.1", "10.0.0.2", 1000, 80, "tcp", DirectChannel(sim))
+
+
+def make_macroflow():
+    return Macroflow(1, "10.0.0.2", MTU, AimdWindowController(MTU), RoundRobinScheduler())
+
+
+class TestFlow:
+    def test_flow_key(self):
+        flow = make_flow()
+        assert flow.key == ("10.0.0.1", "10.0.0.2", 1000, 80, "tcp")
+
+    def test_close_transitions_state(self):
+        flow = make_flow()
+        assert flow.is_open
+        flow.close()
+        assert not flow.is_open
+
+    def test_direct_channel_without_callback_is_noop(self, sim):
+        flow = make_flow(sim=sim)
+        flow.channel.post_send_grant(flow)
+        sim.run()  # nothing scheduled, nothing crashes
+
+    def test_direct_channel_defers_callback(self, sim):
+        flow = make_flow(sim=sim)
+        calls = []
+        flow.send_callback = calls.append
+        flow.channel.post_send_grant(flow)
+        assert calls == []  # not synchronous
+        sim.run()
+        assert calls == [flow.flow_id]
+
+
+class TestMacroflowAccounting:
+    def test_add_remove_flow(self):
+        macroflow = make_macroflow()
+        flow = make_flow()
+        macroflow.add_flow(flow)
+        assert not macroflow.is_empty
+        assert flow.macroflow is macroflow
+        macroflow.remove_flow(flow)
+        assert macroflow.is_empty
+        assert flow.macroflow is None
+
+    def test_charge_transmission_tracks_outstanding(self):
+        macroflow = make_macroflow()
+        flow = make_flow()
+        macroflow.add_flow(flow)
+        macroflow.charge_transmission(flow, 1000, now=1.0)
+        assert macroflow.outstanding_bytes == 1000
+        assert flow.outstanding_bytes == 1000
+        assert macroflow.bytes_sent_total == 1000
+
+    def test_grant_reservation_released_by_notify(self):
+        macroflow = make_macroflow()
+        flow = make_flow()
+        macroflow.add_flow(flow)
+        macroflow.reserved_bytes += MTU
+        flow.granted_unnotified += 1
+        macroflow.charge_transmission(flow, 0, now=1.0)  # declined grant
+        assert macroflow.reserved_bytes == 0
+        assert macroflow.outstanding_bytes == 0
+
+    def test_feedback_releases_outstanding_and_grows_window(self):
+        macroflow = make_macroflow()
+        flow = make_flow()
+        macroflow.add_flow(flow)
+        macroflow.charge_transmission(flow, 1448, now=0.0)
+        before = macroflow.controller.cwnd
+        macroflow.apply_feedback(flow, 1448, 1448, CM_NO_CONGESTION, 0.05, now=0.1)
+        assert macroflow.outstanding_bytes == 0
+        assert macroflow.controller.cwnd > before
+        assert macroflow.rtt.smoothed_rtt() == pytest.approx(0.05)
+
+    def test_application_limited_feedback_does_not_grow_window(self):
+        macroflow = make_macroflow()
+        flow = make_flow()
+        macroflow.add_flow(flow)
+        # Grow the window first so a tiny transmission is clearly app-limited.
+        for _ in range(6):
+            macroflow.charge_transmission(flow, 1448, now=0.0)
+            macroflow.apply_feedback(flow, 1448, 1448, CM_NO_CONGESTION, 0.05, now=0.0)
+        before = macroflow.controller.cwnd
+        macroflow.charge_transmission(flow, 100, now=1.0)
+        macroflow.apply_feedback(flow, 100, 100, CM_NO_CONGESTION, 0.05, now=1.1)
+        assert macroflow.controller.cwnd == pytest.approx(before)
+
+    def test_congestion_applied_even_when_app_limited(self):
+        macroflow = make_macroflow()
+        flow = make_flow()
+        macroflow.add_flow(flow)
+        for _ in range(6):
+            macroflow.charge_transmission(flow, 1448, now=0.0)
+            macroflow.apply_feedback(flow, 1448, 1448, CM_NO_CONGESTION, 0.05, now=0.0)
+        before = macroflow.controller.cwnd
+        macroflow.apply_feedback(flow, 100, 0, CM_TRANSIENT_CONGESTION, 0.0, now=1.0)
+        assert macroflow.controller.cwnd < before
+
+    def test_loss_rate_ewma(self):
+        macroflow = make_macroflow()
+        flow = make_flow()
+        macroflow.add_flow(flow)
+        macroflow.charge_transmission(flow, 1000, now=0.0)
+        macroflow.apply_feedback(flow, 1000, 500, CM_TRANSIENT_CONGESTION, 0.0, now=0.1)
+        assert 0 < macroflow.loss_rate <= 0.5
+
+    def test_window_open_rules(self):
+        macroflow = make_macroflow()
+        flow = make_flow()
+        macroflow.add_flow(flow)
+        assert macroflow.window_open()
+        macroflow.charge_transmission(flow, 1448, now=0.0)
+        # Full-size senders must wait for feedback once the window is used...
+        assert not macroflow.window_open()
+        macroflow.apply_feedback(flow, 1448, 1448, CM_NO_CONGESTION, 0.05, now=0.1)
+        assert macroflow.window_open()
+
+    def test_window_open_for_small_packet_senders(self):
+        macroflow = make_macroflow()
+        flow = make_flow()
+        macroflow.add_flow(flow)
+        macroflow.charge_transmission(flow, 172, now=0.0)
+        # Only a sliver of the window is used; small-datagram flows may
+        # continue even though a full MTU is not available.
+        assert macroflow.window_open()
+
+    def test_remove_flow_drops_its_in_flight_accounting(self):
+        macroflow = make_macroflow()
+        flow = make_flow()
+        macroflow.add_flow(flow)
+        macroflow.charge_transmission(flow, 2000, now=0.0)
+        macroflow.reserved_bytes += MTU
+        flow.granted_unnotified += 1
+        macroflow.remove_flow(flow)
+        assert macroflow.outstanding_bytes == 0
+        assert macroflow.reserved_bytes == 0
+
+    def test_clear_in_flight(self):
+        macroflow = make_macroflow()
+        flow = make_flow()
+        macroflow.add_flow(flow)
+        macroflow.charge_transmission(flow, 5000, now=0.0)
+        macroflow.clear_in_flight()
+        assert macroflow.outstanding_bytes == 0
+        assert flow.outstanding_bytes == 0
+
+    def test_status_snapshot(self):
+        macroflow = make_macroflow()
+        status = macroflow.status()
+        assert status.cwnd_bytes == MTU
+        assert status.mtu == MTU
+        assert status.rate > 0

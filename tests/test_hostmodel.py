@@ -1,0 +1,92 @@
+"""Tests for the end-host CPU cost model."""
+
+import pytest
+
+from repro.hostmodel import CostModel, CpuLedger, HostCosts, OPERATIONS
+
+
+class TestCostModel:
+    def test_price_lookup(self):
+        model = CostModel()
+        assert model.price("syscall") == model.syscall
+
+    def test_unknown_operation_raises(self):
+        with pytest.raises(KeyError):
+            CostModel().price("frobnicate")
+
+    def test_scaled_multiplies_every_price(self):
+        model = CostModel()
+        doubled = model.scaled(2.0)
+        for op in OPERATIONS:
+            assert doubled.price(op) == pytest.approx(2.0 * model.price(op))
+
+    def test_all_operations_listed(self):
+        model = CostModel()
+        for op in OPERATIONS:
+            assert model.price(op) >= 0
+
+
+class TestCpuLedger:
+    def test_charge_accumulates(self):
+        ledger = CpuLedger()
+        ledger.charge("tcp", 5.0)
+        ledger.charge("tcp", 3.0)
+        ledger.charge("cm", 1.0)
+        assert ledger.total_us == pytest.approx(9.0)
+        assert ledger.busy_us_by_category["tcp"] == pytest.approx(8.0)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            CpuLedger().charge("x", -1.0)
+
+    def test_utilization(self):
+        ledger = CpuLedger()
+        ledger.charge("x", 500_000)  # 0.5 s of work
+        assert ledger.utilization(1.0) == pytest.approx(0.5)
+        assert ledger.utilization(0.25) == 1.0  # capped
+        assert ledger.utilization(0.0) == 0.0
+
+    def test_snapshot_is_a_copy(self):
+        ledger = CpuLedger()
+        ledger.charge("x", 1.0)
+        snap = ledger.snapshot()
+        ledger.charge("x", 1.0)
+        assert snap["x"] == pytest.approx(1.0)
+
+    def test_reset(self):
+        ledger = CpuLedger()
+        ledger.charge("x", 1.0)
+        ledger.count("op", 3)
+        ledger.reset()
+        assert ledger.total_us == 0.0
+        assert not ledger.operation_counts
+
+
+class TestHostCosts:
+    def test_charge_operation_counts_and_prices(self):
+        costs = HostCosts()
+        charged = costs.charge_operation("ioctl", count=2)
+        assert charged == pytest.approx(2 * costs.model.ioctl)
+        assert costs.ledger.operation_counts["ioctl"] == 2
+
+    def test_copy_scales_with_bytes(self):
+        costs = HostCosts()
+        small = costs.charge_copy(1024)
+        large = costs.charge_copy(4096)
+        assert large == pytest.approx(4 * small)
+
+    def test_syscall_flavour_adds_trap_and_op(self):
+        costs = HostCosts()
+        total = costs.syscall("recv_call")
+        assert total == pytest.approx(costs.model.syscall + costs.model.recv_call)
+
+    def test_kernel_paths_charge_checksum(self):
+        costs = HostCosts()
+        tx = costs.kernel_tx(1500)
+        assert tx > costs.model.kernel_tx_packet
+
+    def test_utilization_passthrough(self):
+        costs = HostCosts()
+        costs.ledger.charge("x", 1e6)
+        assert costs.utilization(2.0) == pytest.approx(0.5)
+        assert costs.total_us == pytest.approx(1e6)

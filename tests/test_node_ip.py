@@ -1,0 +1,163 @@
+"""Tests for hosts, routers, routing and the IP layer (including the cm_notify hook)."""
+
+import pytest
+
+from repro import CongestionManager, HostCosts
+from repro.iplayer import NoRouteError
+from repro.netsim import Channel, Host, Packet, Router, Simulator, build_dumbbell
+from repro.netsim.packet import PROTO_UDP
+
+
+def udp_packet(src, dst, sport=1000, dport=2000, payload=100, **kw):
+    return Packet(src=src, dst=dst, sport=sport, dport=dport,
+                  protocol=PROTO_UDP, payload_bytes=payload, **kw)
+
+
+class TestHostRouting:
+    def test_channel_installs_routes_both_ways(self, make_pair):
+        pair = make_pair()
+        assert pair.sender.route_for(pair.receiver.addr) is pair.channel.forward
+        assert pair.receiver.route_for(pair.sender.addr) is pair.channel.reverse
+
+    def test_default_route_used_for_unknown_destination(self, make_pair):
+        pair = make_pair()
+        pair.sender.set_default_route(pair.channel.forward)
+        assert pair.sender.route_for("unknown") is pair.channel.forward
+
+    def test_no_route_raises(self, sim):
+        host = Host(sim, "lonely", "10.9.9.9")
+        with pytest.raises(NoRouteError):
+            host.ip.send(udp_packet(host.addr, "10.0.0.1"))
+
+    def test_allocate_port_monotonic(self, sim):
+        host = Host(sim, "h", "10.0.0.1")
+        ports = {host.allocate_port() for _ in range(10)}
+        assert len(ports) == 10
+
+
+class TestIPDemux:
+    def test_delivery_to_registered_handler(self, make_pair):
+        pair = make_pair()
+        got = []
+        pair.receiver.ip.register_handler(PROTO_UDP, 2000, got.append)
+        pair.sender.ip.send(udp_packet(pair.sender.addr, pair.receiver.addr))
+        pair.sim.run()
+        assert len(got) == 1
+        assert pair.receiver.ip.packets_received == 1
+
+    def test_wildcard_port_handler(self, make_pair):
+        pair = make_pair()
+        got = []
+        pair.receiver.ip.register_handler(PROTO_UDP, 0, got.append)
+        pair.sender.ip.send(udp_packet(pair.sender.addr, pair.receiver.addr, dport=7777))
+        pair.sim.run()
+        assert len(got) == 1
+
+    def test_unregistered_port_counted_as_no_handler(self, make_pair):
+        pair = make_pair()
+        pair.sender.ip.send(udp_packet(pair.sender.addr, pair.receiver.addr, dport=9))
+        pair.sim.run()
+        assert pair.receiver.ip.packets_no_handler == 1
+
+    def test_duplicate_registration_rejected(self, make_pair):
+        pair = make_pair()
+        pair.receiver.ip.register_handler(PROTO_UDP, 2000, lambda p: None)
+        with pytest.raises(ValueError):
+            pair.receiver.ip.register_handler(PROTO_UDP, 2000, lambda p: None)
+
+    def test_unregister_then_reregister(self, make_pair):
+        pair = make_pair()
+        pair.receiver.ip.register_handler(PROTO_UDP, 2000, lambda p: None)
+        pair.receiver.ip.unregister_handler(PROTO_UDP, 2000)
+        pair.receiver.ip.register_handler(PROTO_UDP, 2000, lambda p: None)
+
+    def test_misdelivered_packet_dropped_silently(self, make_pair):
+        pair = make_pair()
+        packet = udp_packet(pair.sender.addr, "10.99.99.99")
+        pair.sender.add_route("10.99.99.99", pair.channel.forward)
+        pair.sender.ip.send(packet)
+        pair.sim.run()
+        assert pair.receiver.ip.packets_received == 0
+
+    def test_kernel_costs_charged_per_packet(self, make_pair):
+        pair = make_pair()
+        pair.receiver.ip.register_handler(PROTO_UDP, 2000, lambda p: None)
+        before = pair.sender.costs.total_us
+        pair.sender.ip.send(udp_packet(pair.sender.addr, pair.receiver.addr))
+        assert pair.sender.costs.total_us > before
+
+
+class TestCmNotifyHook:
+    def test_matchable_packet_notifies_cm(self, cm_pair):
+        cm = cm_pair.cm
+        flow_id = cm.cm_open(cm_pair.sender.addr, cm_pair.receiver.addr, 1000, 2000, PROTO_UDP)
+        packet = udp_packet(cm_pair.sender.addr, cm_pair.receiver.addr, 1000, 2000, payload=500)
+        cm_pair.sender.ip.send(packet)
+        assert packet.flow_id == flow_id
+        assert cm.macroflow_of(flow_id).outstanding_bytes == 500
+
+    def test_unmatchable_packet_skips_cm(self, cm_pair):
+        cm = cm_pair.cm
+        flow_id = cm.cm_open(cm_pair.sender.addr, cm_pair.receiver.addr, 1000, 2000, PROTO_UDP)
+        packet = udp_packet(cm_pair.sender.addr, cm_pair.receiver.addr, 1000, 2000,
+                            payload=500, cm_matchable=False)
+        cm_pair.sender.ip.send(packet)
+        assert packet.flow_id is None
+        assert cm.macroflow_of(flow_id).outstanding_bytes == 0
+
+    def test_packet_for_unknown_flow_not_charged(self, cm_pair):
+        packet = udp_packet(cm_pair.sender.addr, cm_pair.receiver.addr, 1, 2)
+        cm_pair.sender.ip.send(packet)
+        assert packet.flow_id is None
+
+
+class TestRouterForwarding:
+    def test_dumbbell_end_to_end_delivery(self):
+        sim = Simulator()
+        bell = build_dumbbell(sim, n_pairs=2, bottleneck_bps=10e6, bottleneck_delay=0.005)
+        got = []
+        bell.receivers[1].ip.register_handler(PROTO_UDP, 2000, got.append)
+        bell.senders[0].ip.send(udp_packet(bell.senders[0].addr, bell.receivers[1].addr))
+        sim.run()
+        assert len(got) == 1
+        assert bell.left_router.ip.packets_forwarded == 1
+        assert bell.right_router.ip.packets_forwarded == 1
+
+    def test_router_drops_unroutable_silently(self, sim):
+        router = Router(sim, "r")
+        router.ip.receive(udp_packet("10.0.0.1", "10.0.0.99"))
+        assert router.ip.packets_forwarded == 0
+
+    def test_router_has_no_cpu_accounting(self, sim):
+        assert Router(sim, "r").costs is None
+
+    def test_dumbbell_requires_at_least_one_pair(self, sim):
+        with pytest.raises(ValueError):
+            build_dumbbell(sim, n_pairs=0, bottleneck_bps=1e6, bottleneck_delay=0.01)
+
+    def test_reverse_path_works(self):
+        sim = Simulator()
+        bell = build_dumbbell(sim, n_pairs=1, bottleneck_bps=10e6, bottleneck_delay=0.005)
+        got = []
+        bell.senders[0].ip.register_handler(PROTO_UDP, 5, got.append)
+        bell.receivers[0].ip.send(udp_packet(bell.receivers[0].addr, bell.senders[0].addr, dport=5))
+        sim.run()
+        assert len(got) == 1
+
+
+class TestChannel:
+    def test_rtt_property(self, make_pair):
+        pair = make_pair(one_way_delay=0.03)
+        assert pair.channel.rtt == pytest.approx(0.06)
+
+    def test_set_rate_changes_both_directions(self, make_pair):
+        pair = make_pair()
+        pair.channel.set_rate(5e6)
+        assert pair.channel.forward.rate_bps == 5e6
+        assert pair.channel.reverse.rate_bps == 5e6
+
+    def test_set_loss_rate_forward_only_by_default(self, make_pair):
+        pair = make_pair()
+        pair.channel.set_loss_rate(0.1)
+        assert pair.channel.forward.loss_rate == 0.1
+        assert pair.channel.reverse.loss_rate == 0.0

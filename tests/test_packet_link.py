@@ -1,0 +1,210 @@
+"""Unit tests for packets, links and traces."""
+
+import pytest
+
+from repro.netsim import Link, Packet, PacketTrace, RateTracker, Simulator
+from repro.netsim.packet import (
+    DEFAULT_MSS,
+    DEFAULT_MTU,
+    IP_HEADER_BYTES,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP_HEADER_BYTES,
+    UDP_HEADER_BYTES,
+)
+
+
+def make_packet(payload=1000, protocol=PROTO_UDP, **kwargs):
+    return Packet(src="a", dst="b", sport=1, dport=2, protocol=protocol,
+                  payload_bytes=payload, **kwargs)
+
+
+class TestPacket:
+    def test_udp_size_includes_headers(self):
+        packet = make_packet(1000, PROTO_UDP)
+        assert packet.size == 1000 + IP_HEADER_BYTES + UDP_HEADER_BYTES
+
+    def test_tcp_size_includes_headers(self):
+        packet = make_packet(1000, PROTO_TCP)
+        assert packet.size == 1000 + IP_HEADER_BYTES + TCP_HEADER_BYTES
+
+    def test_default_mss_derived_from_mtu(self):
+        assert DEFAULT_MSS == DEFAULT_MTU - IP_HEADER_BYTES - TCP_HEADER_BYTES
+
+    def test_flow_key(self):
+        packet = make_packet()
+        assert packet.flow_key == ("a", "b", 1, 2, PROTO_UDP)
+
+    def test_reply_template_swaps_endpoints(self):
+        reply = make_packet().reply_template()
+        assert (reply.src, reply.dst, reply.sport, reply.dport) == ("b", "a", 2, 1)
+        assert reply.payload_bytes == 0
+
+    def test_packet_ids_unique(self):
+        assert make_packet().packet_id != make_packet().packet_id
+
+    def test_headers_default_independent(self):
+        p1, p2 = make_packet(), make_packet()
+        p1.headers["seq"] = 1
+        assert "seq" not in p2.headers
+
+
+class TestLink:
+    def make_link(self, sim, **kwargs):
+        received = []
+        defaults = dict(rate_bps=8e6, delay=0.01, queue_limit=4, seed=1)
+        defaults.update(kwargs)
+        link = Link(sim, **defaults)
+        link.attach(received.append)
+        return link, received
+
+    def test_delivery_includes_serialisation_and_propagation(self):
+        sim = Simulator()
+        link, received = self.make_link(sim, rate_bps=8e6, delay=0.01)
+        packet = make_packet(payload=972)  # 1000 bytes on the wire
+        link.send(packet)
+        sim.run()
+        # 1000 bytes at 8 Mbps = 1 ms serialisation + 10 ms propagation.
+        assert sim.now == pytest.approx(0.011, abs=1e-6)
+        assert received == [packet]
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        link, received = self.make_link(sim, queue_limit=10)
+        packets = [make_packet(100) for _ in range(5)]
+        for p in packets:
+            link.send(p)
+        sim.run()
+        assert received == packets
+
+    def test_queue_overflow_drops(self):
+        sim = Simulator()
+        link, received = self.make_link(sim, queue_limit=2)
+        outcomes = [link.send(make_packet(1000)) for _ in range(5)]
+        sim.run()
+        # One in transmission + two queued accepted; the rest dropped.
+        assert outcomes.count(True) == 3
+        assert link.stats.dropped_overflow == 2
+        assert len(received) == 3
+
+    def test_random_loss_reproducible(self):
+        sim = Simulator()
+        link_a, _ = self.make_link(sim, loss_rate=0.5, seed=42, queue_limit=1000)
+        outcomes_a = [link_a.send(make_packet(10)) for _ in range(50)]
+        sim2 = Simulator()
+        link_b, _ = self.make_link(sim2, loss_rate=0.5, seed=42, queue_limit=1000)
+        outcomes_b = [link_b.send(make_packet(10)) for _ in range(50)]
+        assert outcomes_a == outcomes_b
+        assert link_a.stats.dropped_random > 0
+
+    def test_zero_loss_drops_nothing_randomly(self):
+        sim = Simulator()
+        link, received = self.make_link(sim, queue_limit=1000)
+        for _ in range(20):
+            link.send(make_packet(10))
+        sim.run()
+        assert link.stats.dropped_random == 0
+        assert len(received) == 20
+
+    def test_ecn_marks_instead_of_dropping(self):
+        sim = Simulator()
+        link, received = self.make_link(sim, queue_limit=50, ecn_threshold=2)
+        for _ in range(6):
+            link.send(make_packet(1000, ecn_capable=True))
+        sim.run()
+        assert link.stats.ecn_marked > 0
+        assert any(p.ecn_marked for p in received)
+        assert len(received) == 6
+
+    def test_non_ecn_packets_not_marked(self):
+        sim = Simulator()
+        link, received = self.make_link(sim, queue_limit=50, ecn_threshold=1)
+        for _ in range(4):
+            link.send(make_packet(1000, ecn_capable=False))
+        sim.run()
+        assert link.stats.ecn_marked == 0
+        assert not any(p.ecn_marked for p in received)
+
+    def test_drop_hook_invoked(self):
+        sim = Simulator()
+        link, _ = self.make_link(sim, queue_limit=1)
+        drops = []
+        link.on_drop(lambda packet, reason: drops.append(reason))
+        for _ in range(4):
+            link.send(make_packet(1000))
+        assert "overflow" in drops
+
+    def test_stats_delivered_bytes(self):
+        sim = Simulator()
+        link, _ = self.make_link(sim, queue_limit=10)
+        packet = make_packet(500)
+        link.send(packet)
+        sim.run()
+        assert link.stats.delivered_packets == 1
+        assert link.stats.delivered_bytes == packet.size
+
+    def test_utilization_bounded(self):
+        sim = Simulator()
+        link, _ = self.make_link(sim, queue_limit=100)
+        for _ in range(10):
+            link.send(make_packet(1000))
+        sim.run()
+        assert 0.0 < link.stats.utilization(sim.now) <= 1.0
+
+    def test_send_without_receiver_raises(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=1e6, delay=0.0)
+        with pytest.raises(RuntimeError):
+            link.send(make_packet())
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rate_bps": 0}, {"rate_bps": -1}, {"delay": -0.1}, {"loss_rate": 1.0}, {"loss_rate": -0.2},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        sim = Simulator()
+        defaults = dict(rate_bps=1e6, delay=0.01)
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            Link(sim, **defaults)
+
+    def test_transmission_time(self):
+        sim = Simulator()
+        link, _ = self.make_link(sim, rate_bps=1e6)
+        packet = make_packet(972)  # 1000 total bytes
+        assert link.transmission_time(packet) == pytest.approx(0.008)
+
+
+class TestTrace:
+    def test_packet_trace_filters_by_kind(self):
+        trace = PacketTrace()
+        trace.log(0.0, "send", "a", "b", 100)
+        trace.log(0.1, "recv", "a", "b", 100)
+        trace.log(0.2, "send", "a", "b", 50)
+        assert len(trace) == 3
+        assert len(trace.events("send")) == 2
+        assert trace.bytes_between(0.0, 0.3, kind="recv") == 100
+
+    def test_rate_tracker_series(self):
+        tracker = RateTracker(bin_width=1.0)
+        tracker.record(0.2, 1000)
+        tracker.record(0.7, 1000)
+        tracker.record(2.5, 4000)
+        series = tracker.series()
+        assert series[0] == (0.0, 2000.0)
+        assert series[1] == (1.0, 0.0)  # empty bins are reported as zero
+        assert series[2] == (2.0, 4000.0)
+
+    def test_rate_tracker_mean(self):
+        tracker = RateTracker(bin_width=1.0)
+        tracker.record(0.0, 100)
+        tracker.record(1.0, 300)
+        assert tracker.mean_rate() == pytest.approx(200.0)
+
+    def test_rate_tracker_empty(self):
+        tracker = RateTracker()
+        assert tracker.series() == []
+        assert tracker.mean_rate() == 0.0
+
+    def test_rate_tracker_invalid_bin(self):
+        with pytest.raises(ValueError):
+            RateTracker(bin_width=0)

@@ -1,0 +1,230 @@
+"""Tests for UDP sockets, CM-paced UDP sockets and application-level feedback."""
+
+import pytest
+
+from repro.core import CM_NO_CONGESTION, CM_PERSISTENT_CONGESTION, CM_TRANSIENT_CONGESTION
+from repro.transport.udp import AckReflector, AppFeedbackTracker, CMUDPSocket, UDPSocket
+
+
+class TestUDPSocket:
+    def test_send_and_receive(self, make_pair):
+        pair = make_pair()
+        received = []
+        server = UDPSocket(pair.receiver, local_port=9000)
+        server.on_receive = received.append
+        client = UDPSocket(pair.sender)
+        client.sendto(500, pair.receiver.addr, 9000, headers={"seq": 1})
+        pair.sim.run()
+        assert len(received) == 1
+        assert received[0].headers["seq"] == 1
+        assert server.bytes_received == 500
+
+    def test_connected_send(self, make_pair):
+        pair = make_pair()
+        server = UDPSocket(pair.receiver, local_port=9000)
+        client = UDPSocket(pair.sender)
+        client.connect(pair.receiver.addr, 9000)
+        packet = client.send(100)
+        assert packet.cm_matchable is True
+        assert client.is_connected
+
+    def test_unconnected_send_requires_destination(self, make_pair):
+        pair = make_pair()
+        client = UDPSocket(pair.sender)
+        with pytest.raises(RuntimeError):
+            client.send(100)
+        packet = client.sendto(100, pair.receiver.addr, 9000)
+        assert packet.cm_matchable is False
+
+    def test_send_charges_app_costs(self, make_pair):
+        pair = make_pair()
+        client = UDPSocket(pair.sender)
+        before = pair.sender.costs.total_us
+        client.sendto(1000, pair.receiver.addr, 9000)
+        assert pair.sender.costs.total_us > before
+
+    def test_closed_socket_rejects_send_and_ignores_receive(self, make_pair):
+        pair = make_pair()
+        client = UDPSocket(pair.sender)
+        client.close()
+        with pytest.raises(RuntimeError):
+            client.sendto(10, pair.receiver.addr, 9000)
+
+    def test_negative_payload_rejected(self, make_pair):
+        pair = make_pair()
+        client = UDPSocket(pair.sender)
+        with pytest.raises(ValueError):
+            client.sendto(-1, pair.receiver.addr, 9000)
+
+
+class TestCMUDPSocket:
+    def test_requires_cm(self, make_pair):
+        pair = make_pair(with_cm=False)
+        with pytest.raises(RuntimeError):
+            CMUDPSocket(pair.sender)
+
+    def test_must_connect_before_send(self, cm_pair):
+        socket = CMUDPSocket(cm_pair.sender)
+        with pytest.raises(RuntimeError):
+            socket.sendto(100, cm_pair.receiver.addr, 9000)
+
+    def test_transmissions_paced_by_cm(self, cm_pair):
+        received = []
+        server = UDPSocket(cm_pair.receiver, local_port=9000)
+        server.on_receive = received.append
+        socket = CMUDPSocket(cm_pair.sender)
+        socket.connect(cm_pair.receiver.addr, 9000)
+        for seq in range(5):
+            socket.sendto(1400, cm_pair.receiver.addr, 9000, headers={"seq": seq})
+        # With a 1-MTU initial window and no feedback, only the first packet
+        # may leave immediately; the rest wait in the kernel queue.
+        cm_pair.sim.run(until=0.5)
+        assert len(received) <= 2
+        assert socket.queued_packets >= 3
+
+    def test_feedback_drains_the_queue(self, cm_pair):
+        reflector = AckReflector(cm_pair.receiver, port=9000)
+        socket = CMUDPSocket(cm_pair.sender)
+        socket.connect(cm_pair.receiver.addr, 9000)
+        tracker = AppFeedbackTracker()
+
+        def on_ack(packet):
+            report = tracker.on_ack(packet.headers["ack_seq"], packet.headers["ts_echo"], cm_pair.sim.now)
+            if report:
+                cm_pair.cm.cm_update(socket.flow_id, *report)
+
+        socket.on_receive = on_ack
+        for seq in range(20):
+            socket.sendto(1400, cm_pair.receiver.addr, 9000, headers={"seq": seq, "ts": cm_pair.sim.now})
+            tracker.on_sent(seq, 1400)
+        cm_pair.sim.run(until=20.0)
+        assert reflector.packets_received == 20
+        assert socket.queued_packets == 0
+        reflector.close()
+
+    def test_queue_overflow_drops(self, cm_pair):
+        socket = CMUDPSocket(cm_pair.sender, max_queue_packets=3)
+        socket.connect(cm_pair.receiver.addr, 9000)
+        for seq in range(10):
+            socket.sendto(1400, cm_pair.receiver.addr, 9000, headers={"seq": seq})
+        assert socket.queue_drops > 0
+
+    def test_wrong_destination_rejected(self, cm_pair):
+        socket = CMUDPSocket(cm_pair.sender)
+        socket.connect(cm_pair.receiver.addr, 9000)
+        with pytest.raises(ValueError):
+            socket.sendto(10, "10.9.9.9", 1)
+
+    def test_close_releases_cm_flow(self, cm_pair):
+        socket = CMUDPSocket(cm_pair.sender)
+        socket.connect(cm_pair.receiver.addr, 9000)
+        assert cm_pair.cm.open_flow_count == 1
+        socket.close()
+        assert cm_pair.cm.open_flow_count == 0
+
+
+class TestAckReflector:
+    def test_per_packet_acks(self, make_pair):
+        pair = make_pair()
+        reflector = AckReflector(pair.receiver, port=9000)
+        acks = []
+        client = UDPSocket(pair.sender, local_port=5000)
+        client.on_receive = acks.append
+        for seq in range(3):
+            client.sendto(200, pair.receiver.addr, 9000, headers={"seq": seq, "ts": pair.sim.now})
+        pair.sim.run()
+        assert len(acks) == 3
+        assert acks[-1].headers["ack_seq"] == 2
+        assert reflector.acks_sent == 3
+
+    def test_batched_acks_by_count(self, make_pair):
+        pair = make_pair()
+        reflector = AckReflector(pair.receiver, port=9000, ack_every_packets=5)
+        acks = []
+        client = UDPSocket(pair.sender, local_port=5000)
+        client.on_receive = acks.append
+        for seq in range(10):
+            client.sendto(200, pair.receiver.addr, 9000, headers={"seq": seq, "ts": pair.sim.now})
+        pair.sim.run()
+        assert len(acks) == 2
+        assert acks[0].headers["acked_packets"] == 5
+
+    def test_batched_acks_by_delay(self, make_pair):
+        pair = make_pair()
+        reflector = AckReflector(pair.receiver, port=9000, ack_every_packets=100, ack_delay=1.0)
+        acks = []
+        client = UDPSocket(pair.sender, local_port=5000)
+        client.on_receive = acks.append
+        for seq in range(3):
+            client.sendto(200, pair.receiver.addr, 9000, headers={"seq": seq, "ts": pair.sim.now})
+        pair.sim.run(until=3.0)
+        assert len(acks) == 1
+        assert acks[0].headers["acked_packets"] == 3
+
+    def test_invalid_batching(self, make_pair):
+        pair = make_pair()
+        with pytest.raises(ValueError):
+            AckReflector(pair.receiver, port=9000, ack_every_packets=0)
+
+
+class TestAppFeedbackTracker:
+    def test_in_order_ack(self):
+        tracker = AppFeedbackTracker()
+        tracker.on_sent(0, 1000)
+        report = tracker.on_ack(0, ts_echo=1.0, now=1.05)
+        assert report.nsent == 1000
+        assert report.nrecd == 1000
+        assert report.lossmode == CM_NO_CONGESTION
+        assert report.rtt == pytest.approx(0.05)
+
+    def test_gap_detected_as_transient_loss(self):
+        tracker = AppFeedbackTracker()
+        for seq in range(3):
+            tracker.on_sent(seq, 1000)
+        tracker.on_ack(0, None, 1.0)
+        report = tracker.on_ack(2, None, 1.1)  # seq 1 missing
+        assert report.lossmode == CM_TRANSIENT_CONGESTION
+        assert report.nsent == 2000
+        assert report.nrecd == 1000
+        assert tracker.loss_events == 1
+
+    def test_mostly_missing_batch_is_persistent(self):
+        tracker = AppFeedbackTracker()
+        for seq in range(6):
+            tracker.on_sent(seq, 1000)
+        report = tracker.on_ack(5, None, 1.0)  # only one of six arrived
+        assert report.lossmode == CM_PERSISTENT_CONGESTION
+
+    def test_stale_and_duplicate_acks_ignored(self):
+        tracker = AppFeedbackTracker()
+        tracker.on_sent(0, 1000)
+        tracker.on_sent(1, 1000)
+        assert tracker.on_ack(1, None, 1.0) is not None
+        assert tracker.on_ack(1, None, 1.1) is None
+        assert tracker.on_ack(0, None, 1.2) is None
+
+    def test_cumulative_ack(self):
+        tracker = AppFeedbackTracker()
+        for seq in range(10):
+            tracker.on_sent(seq, 100)
+        report = tracker.on_cumulative_ack(acked_packets=10, acked_bytes=1000, ts_echo=0.5, now=0.6, highest_seq=9)
+        assert report.nsent == 1000
+        assert report.nrecd == 1000
+        assert report.lossmode == CM_NO_CONGESTION
+        assert tracker.in_flight_packets == 0
+
+    def test_cumulative_ack_with_losses(self):
+        tracker = AppFeedbackTracker()
+        for seq in range(10):
+            tracker.on_sent(seq, 100)
+        report = tracker.on_cumulative_ack(acked_packets=8, acked_bytes=800, ts_echo=None, now=1.0, highest_seq=9)
+        assert report.lossmode == CM_TRANSIENT_CONGESTION
+        assert report.nsent == 1000
+        assert report.nrecd == 800
+
+    def test_report_tuple_fields(self):
+        tracker = AppFeedbackTracker()
+        tracker.on_sent(0, 10)
+        report = tracker.on_ack(0, None, 1.0)
+        nsent, nrecd, lossmode, rtt = report
+        assert (nsent, nrecd, lossmode, rtt) == (report.nsent, report.nrecd, report.lossmode, report.rtt)
