@@ -9,6 +9,7 @@ independently of the full experiment harnesses.
 from repro import CongestionManager, HostCosts
 from repro.core import CM_NO_CONGESTION
 from repro.netsim import Host, Simulator
+from repro.netsim.engine import Timer
 
 
 def build_cm_host():
@@ -58,3 +59,41 @@ def test_bench_flow_open_close(benchmark):
         cm.cm_close(fid)
 
     benchmark(open_close)
+
+
+def test_bench_timer_restart_coalescing(benchmark):
+    """The per-ACK RTO refresh pattern: restarts that push the deadline back."""
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    timer.start(0.05)
+
+    def restart_wave():
+        for _ in range(100):
+            timer.restart(0.05)
+
+    benchmark(restart_wave)
+
+
+def test_bench_batched_grant_dispatch(benchmark):
+    """Many pending requests released in one window opening (bulk-server case)."""
+    sim, _host, cm = build_cm_host()
+    flow_ids = []
+    for i in range(16):
+        fid = cm.cm_open("10.0.0.1", "10.0.0.2", 20_000 + i, 80, "tcp")
+        cm.cm_register_send(fid, lambda flow_id: None)
+        flow_ids.append(fid)
+    macroflow = cm.macroflow_of(flow_ids[0])
+    macroflow.controller._cwnd = 1e9
+    scheduler = macroflow.scheduler
+
+    def dispatch_burst():
+        for fid in flow_ids:
+            for _ in range(8):
+                scheduler.enqueue(fid)
+        cm._maybe_grant(macroflow)
+        sim.run()
+        macroflow.reserved_bytes = 0.0
+        for flow in macroflow.flows.values():
+            flow.granted_unnotified = 0
+
+    benchmark(dispatch_burst)

@@ -51,7 +51,8 @@ def describe(server: LayeredStreamingServer, mode: str) -> None:
     print(f"\n--- {mode} mode ---")
     print(f"  packets sent   : {server.packets_sent}")
     print(f"  layer switches : {max(0, len(server.layer_history) - 1)}")
-    print(f"  rate callbacks : {len(server.reported_rates) if mode == 'rate' else 'n/a (queried per packet)'}")
+    callbacks = len(server.reported_rates) if mode == "rate" else "n/a (queried per packet)"
+    print(f"  rate callbacks : {callbacks}")
     print("  transmission rate over time (KB/s):")
     for t, rate in series[:: max(1, len(series) // 12)]:
         bar = "#" * int(rate / 50_000)

@@ -120,7 +120,8 @@ class LayeredStreamingServer:
             return
         self._running = False
         if self._send_event is not None:
-            self._send_event.cancel()
+            if self._send_event.pending:
+                self._send_event.cancel()
             self._send_event = None
 
     @property

@@ -169,10 +169,14 @@ class VatApplication:
         """Stop the audio source (pending buffered frames are abandoned)."""
         self._running = False
         if self._frame_event is not None:
-            self._frame_event.cancel()
+            if self._frame_event.pending:
+                self._frame_event.cancel()
             self._frame_event = None
         if self._drain_event is not None:
-            self._drain_event.cancel()
+            # The drain handler does not clear this reference when it fires,
+            # so the stored event may already have been dispatched.
+            if self._drain_event.pending:
+                self._drain_event.cancel()
             self._drain_event = None
 
     # ====================================================================== #
@@ -203,7 +207,8 @@ class VatApplication:
             )
             self.tracker.on_sent(seq, FRAME_PAYLOAD)
             self.frames_sent += 1
-        if len(self.buffer) and self._running and (self._drain_event is None or not self._drain_event.pending):
+        drain_idle = self._drain_event is None or not self._drain_event.pending
+        if len(self.buffer) and self._running and drain_idle:
             # The kernel queue is full; try again shortly (on-demand refill).
             self._drain_event = self.sim.schedule(FRAME_INTERVAL / 2.0, self._drain_buffer)
 

@@ -19,6 +19,7 @@ __all__ = [
     "MIN_RTO_SECONDS",
     "MAX_RTO_SECONDS",
     "MACROFLOW_IDLE_TIMEOUT",
+    "GRANT_BATCH_SIZE",
 ]
 
 #: Feedback reported no congestion: all bytes covered by the update arrived.
@@ -48,3 +49,9 @@ MAX_RTO_SECONDS = 60.0
 #: closes.  Keeping it alive is what lets a later connection to the same
 #: destination skip slow start (the paper's Figure 7 benefit).
 MACROFLOW_IDLE_TIMEOUT = 120.0
+
+#: Default upper bound on grants handed out per scheduler wakeup per
+#: macroflow in one batched dispatch pass (see ``CongestionManager``).  The
+#: value only caps how much bookkeeping is amortised per pass — service
+#: order and window semantics are independent of it.
+GRANT_BATCH_SIZE = 32

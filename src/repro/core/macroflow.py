@@ -124,6 +124,25 @@ class Macroflow:
             return True
         return (self.outstanding_bytes + self.reserved_bytes) < 0.5 * self.controller.cwnd
 
+    def grant_allowance(self, cap: int) -> int:
+        """How many MTU grants :meth:`window_open` permits back-to-back, up to ``cap``.
+
+        This replays the per-grant window check the one-at-a-time grant loop
+        performed (each grant commits another MTU of reservation), so the
+        batched dispatcher in the manager admits exactly as many grants as
+        ``cap`` successive ``window_open()``/grant iterations would have.
+        """
+        cwnd = self.controller.cwnd
+        mtu = self.mtu
+        committed = self.outstanding_bytes + self.reserved_bytes
+        half = 0.5 * cwnd
+        window_floor = cwnd - mtu
+        n = 0
+        while n < cap and (committed <= window_floor or committed < half):
+            committed += mtu
+            n += 1
+        return n
+
     def charge_transmission(self, flow: Flow, nbytes: int, now: float) -> None:
         """Account a transmission reported via ``cm_notify``."""
         if flow.granted_unnotified > 0:
@@ -137,7 +156,9 @@ class Macroflow:
         self.last_activity_time = now
         flow.stats.notifies += 1
 
-    def apply_feedback(self, flow: Flow, nsent: int, nrecd: int, lossmode: str, rtt: float, now: float) -> None:
+    def apply_feedback(
+        self, flow: Flow, nsent: int, nrecd: int, lossmode: str, rtt: float, now: float
+    ) -> None:
         """Fold one ``cm_update`` report into the shared congestion state."""
         self.updates_received += 1
         flow.stats.updates += 1

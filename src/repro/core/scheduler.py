@@ -7,13 +7,19 @@ scheduler; a weighted variant is provided for the ablation study.
 
 A scheduler only orders *requests* — each entry corresponds to one
 ``cm_request`` call, i.e. permission to send up to one MTU.
+
+Since PR 1 the manager drains requests in batches: ``next_batch(limit)``
+pops up to ``limit`` requests in one call, with the invariant that the
+returned sequence is exactly what ``limit`` successive ``next_flow()``
+calls would have produced (see ``docs/batched_dispatch.md``).  Batching
+changes the dispatch cost, never the service order.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import OrderedDict, deque
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, List, Optional
 
 __all__ = ["Scheduler", "RoundRobinScheduler", "WeightedRoundRobinScheduler"]
 
@@ -42,6 +48,23 @@ class Scheduler(ABC):
     def has_pending(self) -> bool:
         """True if any request is waiting."""
         return self.pending_requests() > 0
+
+    def next_batch(self, limit: int) -> List[int]:
+        """Pop up to ``limit`` requests in grant order.
+
+        The returned sequence is exactly what ``limit`` successive
+        :meth:`next_flow` calls would have produced — batching changes the
+        dispatch cost, never the service order.  Subclasses may override
+        this loop with something cheaper.
+        """
+        batch: List[int] = []
+        append = batch.append
+        while len(batch) < limit:
+            flow_id = self.next_flow()
+            if flow_id is None:
+                break
+            append(flow_id)
+        return batch
 
 
 class RoundRobinScheduler(Scheduler):
@@ -76,6 +99,38 @@ class RoundRobinScheduler(Scheduler):
             del self._pending[flow_id]
             self._pending[flow_id] = count - 1
         return flow_id
+
+    def next_batch(self, limit: int) -> List[int]:
+        """Round-robin batch pop without per-grant ring rotation.
+
+        A *complete* round of :meth:`next_flow` calls rotates every flow to
+        the back once, which leaves the surviving flows in their original
+        relative order — so whole rounds can be served by decrementing
+        counts in place.  Only the final partial round has to perform the
+        real head-of-ring rotation to keep the order identical to the
+        one-at-a-time scheduler.
+        """
+        pending = self._pending
+        batch: List[int] = []
+        append = batch.append
+        while pending and len(batch) < limit:
+            room = limit - len(batch)
+            flows = list(pending.items())
+            if room >= len(flows):
+                for flow_id, count in flows:
+                    append(flow_id)
+                    if count <= 1:
+                        del pending[flow_id]
+                    else:
+                        pending[flow_id] = count - 1
+            else:
+                for flow_id, count in flows[:room]:
+                    append(flow_id)
+                    del pending[flow_id]
+                    if count > 1:
+                        pending[flow_id] = count - 1
+                break
+        return batch
 
     def pending_requests(self, flow_id: Optional[int] = None) -> int:
         if flow_id is not None:

@@ -42,7 +42,7 @@ def run(
     result.add_row("mean_transmission_rate_Bps", mean_tx)
     result.add_row("packets_sent", outcome.packets_sent)
     result.add_row("bytes_received_at_client", outcome.bytes_received)
-    result.add_row("layer_switches", oscillation_count([l for _t, l in outcome.layer_history]))
+    result.add_row("layer_switches", oscillation_count([layer for _t, layer in outcome.layer_history]))
     result.add_row("rate_callbacks", len(outcome.reported_series))
     if progress is not None:
         progress(f"figure9 mean tx rate {mean_tx:.0f} B/s, {len(outcome.reported_series)} callbacks")

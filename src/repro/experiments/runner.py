@@ -18,7 +18,19 @@ import sys
 import time
 from typing import Callable, Dict, List
 
-from . import ablations, aggressiveness, figure3, figure4, figure5, figure6, figure7, figure8, figure9, figure10, table1
+from . import (
+    ablations,
+    aggressiveness,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table1,
+)
 from .base import ExperimentResult
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]

@@ -62,7 +62,8 @@ def run(
         result.notes.append(f"{api} relative to TCP/CM: {summary or 'no additional operations'}")
     result.notes.append(
         "Paper's Table 1: ALF/noconnect adds a cm_notify ioctl over ALF; ALF adds a cm_request ioctl "
-        "and an extra selected socket over Buffered; Buffered adds a recv and two gettimeofday calls over TCP/CM."
+        "and an extra selected socket over Buffered; "
+        "Buffered adds a recv and two gettimeofday calls over TCP/CM."
     )
     return result
 

@@ -7,65 +7,139 @@ the congestion-control dynamics deterministic and reproducible, which is the
 substitution this repository makes for the paper's physical testbed (see
 DESIGN.md).
 
-The engine is a classic event-heap simulator:
+The engine is an event-heap simulator tuned for the request/grant/ACK churn
+the Congestion Manager generates:
 
 * :meth:`Simulator.schedule` / :meth:`Simulator.at` push events onto a heap
   and return an :class:`Event` handle that can be cancelled.
+* Heap entries are plain mutable lists, not the :class:`Event` handles
+  themselves; cancellation is *lazy* — it flips a state slot in O(1) and the
+  dead entry is discarded when it surfaces at the top of the heap (with a
+  periodic compaction so a cancel-heavy workload cannot bloat the heap).
 * :meth:`Simulator.run` pops events in time order and invokes their
-  callbacks until the horizon, an event budget, or :meth:`Simulator.stop`.
+  callbacks until the horizon, an event budget, or :meth:`Simulator.stop`,
+  with the dispatch loop working on local bindings of the heap machinery.
 * :class:`Timer` wraps the common "restartable timeout" pattern used by TCP
-  retransmission timers and the CM's background tick.
+  retransmission timers and the CM's background tick.  Restarts that push
+  the deadline *back* (the per-ACK case) are coalesced: the timer just
+  records the new deadline and re-arms lazily when the old entry fires,
+  costing zero heap operations per restart.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, List, Optional
 
+# Bound once at import: the hot paths call these thousands of times per
+# simulated second and a plain global lookup beats module attribute access.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 __all__ = ["Event", "Simulator", "Timer", "SimulationError"]
+
+# Heap entries are ``[time, seq, state, callback, args, kwargs]`` lists.
+# Ordering only ever compares ``time`` then the unique ``seq``, so the
+# trailing slots never participate in heap comparisons.  ``kwargs`` is
+# ``None`` (not an empty dict) for the overwhelmingly common kwarg-free case.
+_TIME = 0
+_SEQ = 1
+_STATE = 2
+_CALLBACK = 3
+_ARGS = 4
+_KWARGS = 5
+
+_PENDING = 0
+_CANCELLED = 1
+_DISPATCHED = 2
+
+#: Compact the heap when at least this many dead entries accumulate *and*
+#: they outnumber the live ones (amortised O(1) per cancellation).
+_COMPACT_MIN_DEAD = 512
+
+# C-level allocator for Event handles; the scheduling fast paths fill the
+# two slots inline instead of paying an ``__init__`` frame per event.
+_new_event = object.__new__
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulator is used inconsistently.
 
-    Examples include scheduling an event in the past or running a simulator
-    that has already been told to stop and then asked to resume with a
+    Examples include scheduling an event in the past, cancelling an event
+    that has already been dispatched, or resuming a stopped simulator with a
     horizon earlier than the current time.
     """
 
 
 class Event:
-    """A scheduled callback.
+    """Handle for a scheduled callback.
 
     Instances are created by :meth:`Simulator.schedule`; user code only
     interacts with them to :meth:`cancel` a pending event or to inspect
-    :attr:`time`.
+    :attr:`time`.  The handle is a thin view over the simulator's internal
+    heap entry, so keeping or dropping it costs nothing on the hot path.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "dispatched")
+    __slots__ = ("_sim", "_entry")
 
-    def __init__(self, time: float, seq: int, callback: Callable, args: tuple, kwargs: dict):
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.args = args
-        self.kwargs = kwargs
-        self.cancelled = False
-        self.dispatched = False
+    def __init__(self, sim: "Simulator", entry: list):
+        self._sim = sim
+        self._entry = entry
 
-    def cancel(self) -> None:
-        """Prevent the event from firing; safe to call more than once."""
-        self.cancelled = True
+    @property
+    def time(self) -> float:
+        """Absolute simulated time the event fires (or fired) at."""
+        return self._entry[_TIME]
+
+    @property
+    def seq(self) -> int:
+        """Schedule-order tiebreaker (unique per simulator)."""
+        return self._entry[_SEQ]
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._entry[_STATE] == _CANCELLED
+
+    @property
+    def dispatched(self) -> bool:
+        """True once the callback has been invoked."""
+        return self._entry[_STATE] == _DISPATCHED
 
     @property
     def pending(self) -> bool:
         """True while the event is scheduled and has not fired or been cancelled."""
-        return not self.cancelled and not self.dispatched
+        return self._entry[_STATE] == _PENDING
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.
+
+        Safe to call more than once on a pending or already-cancelled event;
+        cancelling an event whose callback has already run is a bug in the
+        caller's bookkeeping and raises :class:`SimulationError`.
+        """
+        entry = self._entry
+        state = entry[_STATE]
+        if state == _DISPATCHED:
+            raise SimulationError(
+                f"cannot cancel event at t={entry[_TIME]:.6f}: it has already been dispatched"
+            )
+        if state == _PENDING:
+            # Inlined _kill_entry: cancellation is on the hot path (retracted
+            # timeouts), a method call per cancel is measurable.
+            entry[_STATE] = _CANCELLED
+            sim = self._sim
+            dead = sim._dead + 1
+            sim._dead = dead
+            if dead >= _COMPACT_MIN_DEAD and dead * 2 > len(sim._heap):
+                sim._compact()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else ("done" if self.dispatched else "pending")
-        return f"<Event t={self.time:.6f} {getattr(self.callback, '__name__', self.callback)} {state}>"
+        entry = self._entry
+        state = ("pending", "cancelled", "done")[entry[_STATE]]
+        callback = entry[_CALLBACK]
+        name = getattr(callback, "__name__", callback)
+        return f"<Event t={entry[_TIME]:.6f} {name} {state}>"
 
 
 class Simulator:
@@ -79,8 +153,9 @@ class Simulator:
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
-        self._heap: List[tuple] = []
-        self._counter = itertools.count()
+        self._heap: List[list] = []
+        self._seq = 0
+        self._dead = 0
         self._running = False
         self._stopped = False
         self.events_dispatched = 0
@@ -96,7 +171,14 @@ class Simulator:
         """Schedule ``callback(*args, **kwargs)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule event {delay} seconds in the past")
-        return self.at(self._now + delay, callback, *args, **kwargs)
+        seq = self._seq
+        self._seq = seq + 1
+        entry = [self._now + delay, seq, _PENDING, callback, args, kwargs or None]
+        _heappush(self._heap, entry)
+        event = _new_event(Event)
+        event._sim = self
+        event._entry = entry
+        return event
 
     def at(self, time: float, callback: Callable, *args: Any, **kwargs: Any) -> Event:
         """Schedule ``callback`` at an absolute simulated time."""
@@ -104,13 +186,58 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {time:.6f}, simulator already at {self._now:.6f}"
             )
-        event = Event(time, next(self._counter), callback, args, kwargs)
-        heapq.heappush(self._heap, (event.time, event.seq, event))
+        seq = self._seq
+        self._seq = seq + 1
+        entry = [time, seq, _PENDING, callback, args, kwargs or None]
+        _heappush(self._heap, entry)
+        event = _new_event(Event)
+        event._sim = self
+        event._entry = entry
         return event
 
     def call_soon(self, callback: Callable, *args: Any, **kwargs: Any) -> Event:
         """Schedule ``callback`` at the current time (after already-queued same-time events)."""
-        return self.at(self._now, callback, *args, **kwargs)
+        seq = self._seq
+        self._seq = seq + 1
+        entry = [self._now, seq, _PENDING, callback, args, kwargs or None]
+        _heappush(self._heap, entry)
+        event = _new_event(Event)
+        event._sim = self
+        event._entry = entry
+        return event
+
+    # ------------------------------------------------------- entry management
+    def _push(self, time: float, callback: Callable, args: tuple, kwargs: Optional[dict]) -> list:
+        """Create and enqueue a raw heap entry (no :class:`Event` wrapper)."""
+        seq = self._seq
+        self._seq = seq + 1
+        entry = [time, seq, _PENDING, callback, args, kwargs]
+        _heappush(self._heap, entry)
+        return entry
+
+    def _kill_entry(self, entry: list) -> None:
+        """Lazily cancel a pending entry.
+
+        The payload slots are left in place — the dead entry surfaces and is
+        dropped soon enough (or is swept by :meth:`_compact`), exactly as the
+        heap-resident references behaved before the rewrite.
+        """
+        entry[_STATE] = _CANCELLED
+        self._dead += 1
+        if self._dead >= _COMPACT_MIN_DEAD and self._dead * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without dead entries (amortised by the threshold).
+
+        In place, never rebinding ``self._heap``: the dispatch loop in
+        :meth:`run` works on a local alias of the heap list, and compaction
+        can trigger from a callback in the middle of that loop.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if entry[_STATE] == _PENDING]
+        heapq.heapify(heap)
+        self._dead = 0
 
     # ---------------------------------------------------------------- running
     def stop(self) -> None:
@@ -119,12 +246,14 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Return the time of the next pending event, or ``None`` if the heap is empty."""
-        while self._heap:
-            time, _seq, event = self._heap[0]
-            if event.cancelled:
-                heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[_STATE] != _PENDING:
+                _heappop(heap)
+                self._dead -= 1
                 continue
-            return time
+            return entry[_TIME]
         return None
 
     def step(self) -> bool:
@@ -132,26 +261,34 @@ class Simulator:
 
         Returns ``True`` if an event ran, ``False`` if the heap was empty.
         """
-        while self._heap:
-            _time, _seq, event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            entry = _heappop(heap)
+            if entry[_STATE] != _PENDING:
+                self._dead -= 1
                 continue
-            self._now = event.time
-            event.dispatched = True
+            self._now = entry[_TIME]
+            entry[_STATE] = _DISPATCHED
             self.events_dispatched += 1
-            event.callback(*event.args, **event.kwargs)
+            kwargs = entry[_KWARGS]
+            if kwargs is None:
+                entry[_CALLBACK](*entry[_ARGS])
+            else:
+                entry[_CALLBACK](*entry[_ARGS], **kwargs)
             return True
         return False
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
-        """Run until the event heap drains, ``until`` is reached, or ``stop()`` is called.
+        """Run until the event heap drains, ``until`` is reached, or :meth:`stop`.
 
         Parameters
         ----------
         until:
             Horizon in simulated seconds.  Events scheduled later than the
             horizon are left on the heap; the clock is advanced to the
-            horizon when it is reached.
+            horizon when it is reached.  Resuming with a horizon earlier
+            than the current time (for example after a :meth:`stop`) raises
+            :class:`SimulationError`.
         max_events:
             Safety valve for tests; abort after this many dispatches.
 
@@ -164,26 +301,60 @@ class Simulator:
             raise SimulationError(f"horizon {until} is before current time {self._now}")
         self._running = True
         self._stopped = False
+        # The dispatch loops work on local bindings (heap, heappop, the
+        # budget) and unpack entries by index instead of going through Event
+        # attribute lookups.  Entries are popped straight off the heap; the
+        # one that overshoots the horizon is pushed back, which trades a
+        # rare extra push for never peeking before every pop.
+        heap = self._heap
+        heappop = _heappop
         dispatched = 0
         try:
-            while not self._stopped:
-                next_time = self.peek()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self._now = until
-                    break
-                if not self.step():
-                    break
-                dispatched += 1
-                if max_events is not None and dispatched >= max_events:
-                    break
+            if until is None and max_events is None:
+                # Dominant case (drain, no horizon, no budget): tightest loop.
+                # Literal entry indices (see the slot layout at module top):
+                # global constant lookups are measurable at this call rate.
+                while heap and not self._stopped:
+                    entry = heappop(heap)
+                    if entry[2]:
+                        self._dead -= 1
+                        continue
+                    self._now = entry[0]
+                    entry[2] = 2
+                    dispatched += 1
+                    kwargs = entry[5]
+                    if kwargs is None:
+                        entry[3](*entry[4])
+                    else:
+                        entry[3](*entry[4], **kwargs)
             else:
-                # stop() was requested; advance no further.
-                pass
-            if until is not None and not self._stopped and self.peek() is None and self._now < until:
-                self._now = until
+                remaining = -1 if max_events is None else max_events
+                while heap and not self._stopped and remaining != 0:
+                    entry = heappop(heap)
+                    if entry[2]:
+                        self._dead -= 1
+                        continue
+                    event_time = entry[0]
+                    if until is not None and event_time > until:
+                        _heappush(heap, entry)
+                        self._now = until
+                        break
+                    self._now = event_time
+                    entry[2] = 2
+                    dispatched += 1
+                    remaining -= 1
+                    kwargs = entry[5]
+                    if kwargs is None:
+                        entry[3](*entry[4])
+                    else:
+                        entry[3](*entry[4], **kwargs)
+                else:
+                    # Drained, stopped, or out of budget without hitting the
+                    # horizon: a drained run still reports the horizon time.
+                    if until is not None and not self._stopped and self._now < until and self.peek() is None:
+                        self._now = until
         finally:
+            self.events_dispatched += dispatched
             self._running = False
         return self._now
 
@@ -192,7 +363,8 @@ class Simulator:
         return self.run(until=None, max_events=max_events)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator t={self._now:.6f} pending={len(self._heap)}>"
+        pending = len(self._heap) - self._dead
+        return f"<Simulator t={self._now:.6f} pending={pending}>"
 
 
 class Timer:
@@ -202,41 +374,80 @@ class Timer:
     :meth:`restart` whenever the timeout should be pushed back (for example
     when a TCP ACK advances the window), :meth:`cancel` when the timer is no
     longer needed, and the ``callback`` fires if the timeout expires first.
+
+    Restarts are *coalesced*.  Kernel timer wheels survive a restart per
+    packet because modifying a wheel entry is O(1); a binary heap is not so
+    lucky, so instead of re-pushing on every restart the timer keeps at most
+    one heap entry armed and simply records the latest deadline.  When the
+    entry fires early it re-arms itself for the remaining interval.  A
+    restart that *shortens* the deadline still has to requeue immediately —
+    that is the rare case (TCP only shortens the RTO when the estimator
+    collapses, and the CM's background tick never does).
     """
+
+    __slots__ = ("_sim", "_callback", "_args", "_kwargs", "_deadline", "_entry")
 
     def __init__(self, sim: Simulator, callback: Callable, *args: Any, **kwargs: Any):
         self._sim = sim
         self._callback = callback
         self._args = args
         self._kwargs = kwargs
-        self._event: Optional[Event] = None
+        #: Absolute expiry time while armed, ``None`` otherwise.
+        self._deadline: Optional[float] = None
+        #: The heap entry currently scheduled to call :meth:`_fire`.
+        self._entry: Optional[list] = None
 
     @property
     def pending(self) -> bool:
         """True if the timer is armed and has not yet fired."""
-        return self._event is not None and self._event.pending
+        return self._deadline is not None
 
     @property
     def expires_at(self) -> Optional[float]:
         """Absolute expiry time, or ``None`` when the timer is not armed."""
-        if self.pending:
-            return self._event.time
-        return None
+        return self._deadline
 
     def start(self, delay: float) -> None:
         """Arm the timer ``delay`` seconds from now; restarts if already armed."""
-        self.cancel()
-        self._event = self._sim.schedule(delay, self._fire)
+        if delay < 0:
+            raise SimulationError(f"cannot arm timer {delay} seconds in the past")
+        sim = self._sim
+        deadline = sim._now + delay
+        self._deadline = deadline
+        entry = self._entry
+        if entry is not None and entry[_STATE] == _PENDING:
+            if entry[_TIME] <= deadline:
+                # Deadline moved later (or stayed put): keep the armed entry
+                # and let _fire re-arm for the remainder.  Zero heap ops.
+                return
+            # Deadline moved earlier: the armed entry is useless, requeue.
+            sim._kill_entry(entry)
+        self._entry = sim._push(deadline, self._fire, (), None)
 
     # ``restart`` reads better at call sites that are refreshing a timeout.
     restart = start
 
     def cancel(self) -> None:
         """Disarm the timer if armed."""
-        if self._event is not None:
-            self._event.cancel()
-            self._event = None
+        self._deadline = None
+        entry = self._entry
+        if entry is not None:
+            if entry[_STATE] == _PENDING:
+                self._sim._kill_entry(entry)
+            self._entry = None
 
     def _fire(self) -> None:
-        self._event = None
+        deadline = self._deadline
+        if deadline is None:
+            # Cancelled after this entry was already dispatched; nothing to do.
+            self._entry = None
+            return
+        sim = self._sim
+        if deadline > sim._now:
+            # A coalesced restart moved the deadline past this entry's time;
+            # re-arm once for the remaining interval.
+            self._entry = sim._push(deadline, self._fire, (), None)
+            return
+        self._deadline = None
+        self._entry = None
         self._callback(*self._args, **self._kwargs)

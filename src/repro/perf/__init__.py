@@ -1,0 +1,26 @@
+"""Performance harness for the simulation hot path.
+
+This package keeps the repository honest about speed.  The reproduction's
+entire output — every figure, every table — is produced by the discrete
+event engine driving ``cm_request`` grants through the manager and
+scheduler, so simulator throughput is the ceiling on how many scenarios we
+can afford to run.  The harness here measures that ceiling:
+
+* :mod:`repro.perf.legacy` preserves the seed (pre-PR-1) implementations of
+  the event engine and of the one-grant-at-a-time dispatch loop, so every
+  optimised hot path can be benchmarked against the exact code it replaced;
+* :mod:`repro.perf.harness` runs the microbenchmarks (event churn, timer
+  restart, grant dispatch) and an end-to-end Figure-3 scenario, and emits a
+  JSON report (``BENCH_PR1.json`` for this PR) with ops/sec, wall-clock and
+  the speedup over the seed implementation;
+* ``python -m repro.perf`` is the command-line entry point (CI runs it in
+  ``--quick`` mode and uploads the JSON as an artifact).
+
+Every future performance PR gets a trajectory to beat by re-running::
+
+    PYTHONPATH=src python -m repro.perf --quick --output BENCH_PR1.json
+"""
+
+from .harness import BenchResult, run_benchmarks, write_report
+
+__all__ = ["BenchResult", "run_benchmarks", "write_report"]

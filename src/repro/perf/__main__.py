@@ -1,0 +1,46 @@
+"""Command-line entry point: ``PYTHONPATH=src python -m repro.perf``.
+
+CI runs ``--quick`` and uploads the JSON artifact; developers run the full
+size before/after touching a hot path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness import format_report, run_benchmarks, write_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Benchmark the simulation engine and CM grant hot paths.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small workloads for CI smoke runs"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_PR1.json", help="where to write the JSON report"
+    )
+    parser.add_argument(
+        "--label", default="BENCH_PR1", help="label recorded in the report metadata"
+    )
+    args = parser.parse_args(argv)
+
+    # Fail before spending minutes benchmarking if the report can't be written.
+    try:
+        with open(args.output, "a", encoding="utf-8"):
+            pass
+    except OSError as exc:
+        parser.error(f"cannot write --output {args.output}: {exc}")
+
+    report = run_benchmarks(quick=args.quick, label=args.label)
+    write_report(report, args.output)
+    print(format_report(report))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,182 @@
+"""Seed (pre-PR-1) implementations of the hot paths, kept for benchmarking.
+
+The classes and functions here are verbatim-in-behaviour copies of the code
+the PR-1 rewrite replaced: the per-``Event``-object heap engine and the
+one-grant-at-a-time dispatch loop.  They exist so the perf harness can
+report *measured* speedups against the exact seed implementation rather
+than against folklore, and so regressions ("the new engine got slower than
+the seed") stay detectable forever.
+
+Do not use these in production code; they are benchmark baselines.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+__all__ = [
+    "LegacyEvent",
+    "LegacySimulator",
+    "LegacyTimer",
+    "unbatched_maybe_grant",
+]
+
+
+class LegacyEvent:
+    """Seed event record: one 7-slot object per scheduled callback."""
+
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "dispatched")
+
+    def __init__(self, time: float, seq: int, callback: Callable, args: tuple, kwargs: dict):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+        self.dispatched = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        return not self.cancelled and not self.dispatched
+
+
+class LegacySimulator:
+    """Seed engine: peek()/step() pair per dispatch, Event attribute juggling."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._heap: List[tuple] = []
+        self._counter = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_dispatched = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable, *args: Any, **kwargs: Any) -> LegacyEvent:
+        if delay < 0:
+            raise ValueError(f"cannot schedule event {delay} seconds in the past")
+        return self.at(self._now + delay, callback, *args, **kwargs)
+
+    def at(self, time: float, callback: Callable, *args: Any, **kwargs: Any) -> LegacyEvent:
+        if time < self._now:
+            raise ValueError(f"cannot schedule event at {time:.6f}, now {self._now:.6f}")
+        event = LegacyEvent(time, next(self._counter), callback, args, kwargs)
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    def call_soon(self, callback: Callable, *args: Any, **kwargs: Any) -> LegacyEvent:
+        return self.at(self._now, callback, *args, **kwargs)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def peek(self) -> Optional[float]:
+        while self._heap:
+            time, _seq, event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time
+        return None
+
+    def step(self) -> bool:
+        while self._heap:
+            _time, _seq, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.dispatched = True
+            self.events_dispatched += 1
+            event.callback(*event.args, **event.kwargs)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        if until is not None and until < self._now:
+            raise ValueError(f"horizon {until} is before current time {self._now}")
+        self._running = True
+        self._stopped = False
+        dispatched = 0
+        try:
+            while not self._stopped:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if not self.step():
+                    break
+                dispatched += 1
+                if max_events is not None and dispatched >= max_events:
+                    break
+            if until is not None and not self._stopped and self.peek() is None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+
+class LegacyTimer:
+    """Seed timer: cancel-and-repush on every restart."""
+
+    def __init__(self, sim: LegacySimulator, callback: Callable, *args: Any, **kwargs: Any):
+        self._sim = sim
+        self._callback = callback
+        self._args = args
+        self._kwargs = kwargs
+        self._event: Optional[LegacyEvent] = None
+
+    @property
+    def pending(self) -> bool:
+        return self._event is not None and self._event.pending
+
+    @property
+    def expires_at(self) -> Optional[float]:
+        if self.pending:
+            return self._event.time
+        return None
+
+    def start(self, delay: float) -> None:
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    restart = start
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback(*self._args, **self._kwargs)
+
+
+def unbatched_maybe_grant(manager, macroflow) -> None:
+    """The seed grant loop: one scheduler pop and window check per MTU.
+
+    Operates on the live :class:`~repro.core.manager.CongestionManager`
+    data structures, so benchmarks can compare it directly against the
+    batched ``_maybe_grant`` on identical state.
+    """
+    while macroflow.scheduler.has_pending() and macroflow.window_open():
+        flow_id = macroflow.scheduler.next_flow()
+        if flow_id is None:
+            break
+        flow = manager._flows.get(flow_id)
+        if flow is None or not flow.is_open or flow.macroflow is not macroflow:
+            continue
+        macroflow.reserved_bytes += macroflow.mtu
+        flow.granted_unnotified += 1
+        flow.stats.grants += 1
+        flow.channel.post_send_grant(flow)

@@ -98,6 +98,8 @@ class TCPReceiverConnection:
             if must_ack_now:
                 self._send_ack(immediate=True, ecn_echo=packet.ecn_marked)
             else:
+                # Per-segment refresh; the deadline always moves later, so
+                # the coalescing Timer makes this free of heap operations.
                 self._delack_timer.restart(DELAYED_ACK_TIMEOUT)
         elif seq < self.rcv_nxt:
             # Duplicate of already-delivered data (a spurious retransmission);

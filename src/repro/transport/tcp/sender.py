@@ -315,6 +315,9 @@ class TCPSenderBase:
                 rtt_sample = max(0.0, self.sim.now - ts_echo)
                 self.rtt.sample(rtt_sample)
             if self.flight_size > 0:
+                # Refreshed on every ACK that advances the window.  The RTO
+                # deadline only ever moves later here, so the Timer coalesces
+                # this into a deadline update with no heap traffic.
                 self._rto_timer.restart(self._current_rto())
             else:
                 self._rto_timer.cancel()

@@ -83,7 +83,9 @@ class CMUDPSocket(UDPSocket):
         return len(self._queue)
 
     # ------------------------------------------------------------------- send
-    def sendto(self, payload_bytes: int, addr: str, port: int, headers: Optional[dict] = None) -> Optional[Packet]:
+    def sendto(
+        self, payload_bytes: int, addr: str, port: int, headers: Optional[dict] = None
+    ) -> Optional[Packet]:
         """Queue a datagram for CM-paced transmission.
 
         Returns ``None`` because the packet is not built until the CM grant

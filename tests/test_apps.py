@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import CongestionManager
 from repro.apps import (
     AudioBuffer,
     BulkTransferApp,

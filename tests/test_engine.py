@@ -187,3 +187,168 @@ class TestTimer:
         timer.start(1.0)
         sim.run()
         assert fired == [1.0, 2.0]
+
+
+class TestStrictCancellation:
+    """PR 1: misuse that used to silently misbehave now raises."""
+
+    def test_cancel_after_dispatch_raises(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert event.dispatched
+        with pytest.raises(SimulationError):
+            event.cancel()
+
+    def test_cancel_after_dispatch_raises_even_via_step(self, sim):
+        event = sim.schedule(0.5, lambda: None)
+        assert sim.step() is True
+        with pytest.raises(SimulationError):
+            event.cancel()
+
+    def test_cancel_twice_still_fine(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()  # idempotent for never-dispatched events
+        assert event.cancelled and not event.pending
+
+    def test_stop_then_resume_with_earlier_horizon_raises(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, sim.stop)
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=10.0)
+        assert fired == ["a"]
+        with pytest.raises(SimulationError):
+            sim.run(until=1.5)
+        # Resuming with a legal horizon still works.
+        sim.run(until=6.0)
+        assert fired == ["a", "b"]
+
+    def test_stop_then_resume_with_earlier_horizon_raises_after_plain_run(self, sim):
+        sim.schedule(3.0, sim.stop)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=2.0)
+
+
+class TestLazyHeap:
+    def test_cancelled_events_do_not_linger_forever(self, sim):
+        # Mass-cancel far more events than the compaction threshold; the
+        # internal heap must shrink without any of them being dispatched.
+        events = [sim.schedule(10.0, lambda: None) for _ in range(5000)]
+        for event in events:
+            event.cancel()
+        assert len(sim._heap) < 5000
+        assert sim.peek() is None
+        sim.run()
+        assert sim.events_dispatched == 0
+
+    def test_cancel_interleaved_with_dispatch(self, sim):
+        fired = []
+        keep = [sim.schedule(0.1 * (i + 1), fired.append, i) for i in range(10)]
+        for event in keep[1::2]:
+            event.cancel()
+        sim.run()
+        assert fired == [0, 2, 4, 6, 8]
+
+    def test_mid_run_compaction_keeps_dispatching(self, sim):
+        # A callback that mass-cancels (triggering heap compaction) and then
+        # schedules more work: the dispatch loop must keep draining the same
+        # (compacted) heap, and the dead-entry accounting must stay sane.
+        fired = []
+        victims = []
+
+        def setup():
+            victims.extend(sim.schedule(10.0, lambda: None) for _ in range(1200))
+
+        def purge_and_continue():
+            for event in victims:
+                event.cancel()
+            sim.schedule(1.0, fired.append, "follow-up")
+
+        sim.schedule(0.1, setup)
+        sim.schedule(0.5, purge_and_continue)
+        sim.run()
+        assert fired == ["follow-up"]
+        assert sim._dead == 0
+        assert sim.peek() is None
+
+    def test_horizon_overshoot_event_survives(self, sim):
+        # The first event past the horizon is popped and pushed back; it must
+        # still fire, in order, on the next run.
+        fired = []
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(3.0, fired.append, "late")
+        sim.schedule(3.0, fired.append, "later")
+        sim.run(until=2.0)
+        assert fired == ["early"]
+        sim.run()
+        assert fired == ["early", "late", "later"]
+
+
+class TestTimerCoalescing:
+    def test_restart_later_keeps_single_heap_entry(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.start(1.0)
+        depth = len(sim._heap)
+        for _ in range(100):
+            timer.restart(2.0)  # deadline only ever moves later
+        assert len(sim._heap) == depth
+        assert timer.expires_at == pytest.approx(2.0)
+
+    def test_restart_later_fires_at_final_deadline(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        for delay in (0.5, 1.0, 1.5, 2.0):
+            sim.schedule(delay, timer.restart, 1.0)
+        sim.run()
+        assert fired == [pytest.approx(3.0)]
+
+    def test_restart_earlier_requeues(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(5.0)
+        timer.restart(1.0)
+        sim.run()
+        assert fired == [pytest.approx(1.0)]
+
+    def test_cancel_after_coalesced_restart(self, sim):
+        fired = []
+        timer = Timer(sim, fired.append, "x")
+        timer.start(1.0)
+        timer.restart(2.0)
+        timer.cancel()
+        assert not timer.pending and timer.expires_at is None
+        sim.run()
+        assert fired == []
+
+    def test_cancel_then_restart(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        timer.cancel()
+        timer.start(2.0)
+        sim.run()
+        assert fired == [pytest.approx(2.0)]
+
+    def test_negative_delay_rejected(self, sim):
+        timer = Timer(sim, lambda: None)
+        with pytest.raises(SimulationError):
+            timer.start(-0.5)
+
+    def test_restart_from_callback_during_run(self, sim):
+        # The re-arm path runs inside the dispatch loop; firing must happen
+        # exactly once, at the coalesced deadline.
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(0.3)
+
+        def ack(i):
+            if i < 5:
+                timer.restart(0.3)
+
+        for i in range(5):
+            sim.schedule(0.1 * (i + 1), ack, i)
+        sim.run()
+        assert fired == [pytest.approx(0.8)]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import CongestionManager, HostCosts
+from repro import HostCosts
 from repro.iplayer import NoRouteError
 from repro.netsim import Channel, Host, Packet, Router, Simulator, build_dumbbell
 from repro.netsim.packet import PROTO_UDP

@@ -150,7 +150,8 @@ class TestLinkProperties:
         assert link.stats.dropped_packets == len(sizes) - accepted
         assert len({p.packet_id for p in received}) == len(received)
 
-    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=100), st.integers(min_value=0, max_value=10_000)),
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=100),
+                              st.integers(min_value=0, max_value=10_000)),
                     max_size=100))
     @settings(deadline=None)
     def test_rate_tracker_conserves_bytes(self, observations):

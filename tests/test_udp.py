@@ -207,7 +207,9 @@ class TestAppFeedbackTracker:
         tracker = AppFeedbackTracker()
         for seq in range(10):
             tracker.on_sent(seq, 100)
-        report = tracker.on_cumulative_ack(acked_packets=10, acked_bytes=1000, ts_echo=0.5, now=0.6, highest_seq=9)
+        report = tracker.on_cumulative_ack(
+            acked_packets=10, acked_bytes=1000, ts_echo=0.5, now=0.6, highest_seq=9
+        )
         assert report.nsent == 1000
         assert report.nrecd == 1000
         assert report.lossmode == CM_NO_CONGESTION
@@ -217,7 +219,9 @@ class TestAppFeedbackTracker:
         tracker = AppFeedbackTracker()
         for seq in range(10):
             tracker.on_sent(seq, 100)
-        report = tracker.on_cumulative_ack(acked_packets=8, acked_bytes=800, ts_echo=None, now=1.0, highest_seq=9)
+        report = tracker.on_cumulative_ack(
+            acked_packets=8, acked_bytes=800, ts_echo=None, now=1.0, highest_seq=9
+        )
         assert report.lossmode == CM_TRANSIENT_CONGESTION
         assert report.nsent == 1000
         assert report.nrecd == 800
