@@ -9,6 +9,7 @@ from .metrics import (
     series_mean,
     throughput_bytes_per_second,
 )
+from .stats import PointStats, ci95_halfwidth, sample_stddev, summarize, t_critical_95
 
 __all__ = [
     "throughput_bytes_per_second",
@@ -18,4 +19,9 @@ __all__ = [
     "series_mean",
     "series_max",
     "oscillation_count",
+    "PointStats",
+    "sample_stddev",
+    "ci95_halfwidth",
+    "t_critical_95",
+    "summarize",
 ]

@@ -1,0 +1,89 @@
+"""NumPy-free summary statistics for multi-seed experiment points.
+
+The experiment harness averages every figure point over several seeds; this
+module turns those per-seed samples into the mean / sample standard
+deviation / 95 % confidence interval reported in the result tables.  It is
+deliberately dependency-free and order-deterministic: given the same list of
+samples it always produces bit-identical floats, which is what lets the
+parallel runner promise byte-identical JSON artifacts regardless of worker
+count (samples are summed in shard-key order, never in completion order).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["PointStats", "mean", "sample_stddev", "t_critical_95", "ci95_halfwidth", "summarize"]
+
+#: Two-tailed Student-t critical values at 95 % confidence, indexed by
+#: degrees of freedom 1..30; beyond 30 the normal approximation is used.
+_T_TABLE_95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+_Z_95 = 1.960
+
+
+@dataclass(frozen=True)
+class PointStats:
+    """Summary of one figure point's per-seed samples."""
+
+    n: int
+    mean: float
+    stddev: float
+    ci95: float
+
+    def as_row(self) -> List[float]:
+        """The (mean, stddev, ci95) triple in table-column order."""
+        return [self.mean, self.stddev, self.ci95]
+
+
+def mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean in the given order (0.0 for no samples)."""
+    samples = list(samples)
+    if not samples:
+        return 0.0
+    return math.fsum(samples) / len(samples)
+
+
+def sample_stddev(samples: Sequence[float]) -> float:
+    """Sample (n-1) standard deviation; 0.0 when fewer than two samples."""
+    samples = list(samples)
+    if len(samples) < 2:
+        return 0.0
+    mu = mean(samples)
+    variance = math.fsum((x - mu) ** 2 for x in samples) / (len(samples) - 1)
+    # Guard against tiny negative round-off from fsum cancellation.
+    return math.sqrt(variance) if variance > 0.0 else 0.0
+
+
+def t_critical_95(degrees_of_freedom: int) -> float:
+    """Two-tailed 95 % Student-t critical value (normal beyond df=30)."""
+    if degrees_of_freedom < 1:
+        return 0.0
+    if degrees_of_freedom <= len(_T_TABLE_95):
+        return _T_TABLE_95[degrees_of_freedom - 1]
+    return _Z_95
+
+
+def ci95_halfwidth(samples: Sequence[float]) -> float:
+    """Half-width of the 95 % confidence interval on the mean."""
+    samples = list(samples)
+    if len(samples) < 2:
+        return 0.0
+    return t_critical_95(len(samples) - 1) * sample_stddev(samples) / math.sqrt(len(samples))
+
+
+def summarize(samples: Sequence[float]) -> PointStats:
+    """Mean, sample stddev and 95 % CI half-width for one point's samples."""
+    samples = list(samples)
+    return PointStats(
+        n=len(samples),
+        mean=mean(samples),
+        stddev=sample_stddev(samples),
+        ci95=ci95_halfwidth(samples),
+    )

@@ -1,11 +1,22 @@
 """Experiment harnesses reproducing every table and figure in the paper.
 
-Each module exposes ``run(...) -> ExperimentResult``; the mapping from paper
-artifact to module is recorded in DESIGN.md's per-experiment index, and the
-``cm-experiments`` CLI (see :mod:`repro.experiments.runner`) runs them from
-the command line.
+Each module exposes a ``trials() -> list[TrialSpec]`` / ``reduce(outcomes)``
+split (plus the classic ``run(...) -> ExperimentResult`` convenience wrapper)
+so the ``cm-experiments`` CLI (see :mod:`repro.experiments.runner`) can shard
+the independent trials across worker processes and memoize them in the
+on-disk trial cache.  The mapping from paper artifact to module is recorded
+in DESIGN.md's per-experiment index; the trial/reduce contract is documented
+in ``docs/parallel_runner.md``.
 """
 
 from .base import ExperimentResult, format_table
+from .parallel import TrialCache, TrialOutcome, TrialSpec, run_trials
 
-__all__ = ["ExperimentResult", "format_table"]
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "TrialSpec",
+    "TrialOutcome",
+    "TrialCache",
+    "run_trials",
+]

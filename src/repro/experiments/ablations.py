@@ -14,15 +14,27 @@ Three questions, each answered with a small experiment:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from ..analysis import jain_fairness
 from ..core import CongestionManager, RateAimdController, WeightedRoundRobinScheduler
 from ..transport.tcp import CMTCPSender, TCPListener
 from .base import ExperimentResult
+from .parallel import TrialOutcome, TrialSpec, run_trials
 from .topology import dummynet_pair, wan_pair
 
-__all__ = ["run_scheduler_ablation", "run_controller_ablation", "run_sharing_ablation", "run"]
+__all__ = [
+    "run_scheduler_ablation",
+    "run_controller_ablation",
+    "run_sharing_ablation",
+    "run",
+    "trials",
+    "run_trial",
+    "reduce",
+]
+
+#: The three independent ablation studies, in presentation order.
+PARTS = ("scheduler", "controller", "sharing")
 
 
 def run_scheduler_ablation(transfer_bytes: int = 8_000_000, weight: int = 3) -> ExperimentResult:
@@ -134,20 +146,43 @@ def run_sharing_ablation(transfer_bytes: int = 96 * 1024) -> ExperimentResult:
     return result
 
 
-def run(progress: Optional[callable] = None) -> ExperimentResult:
-    """Run all three ablations and merge their summaries into one result."""
+def run_trial(params: dict) -> dict:
+    """Run one ablation study and return its result payload (JSON-able)."""
+    part = params["part"]
+    if part == "scheduler":
+        sub = run_scheduler_ablation()
+    elif part == "controller":
+        sub = run_controller_ablation()
+    elif part == "sharing":
+        sub = run_sharing_ablation()
+    else:
+        raise ValueError(f"unknown ablation part {part!r}")
+    return sub.payload()
+
+
+def trials() -> List[TrialSpec]:
+    """One trial per independent ablation study."""
+    return [TrialSpec("ablations", {"part": part}) for part in PARTS]
+
+
+def reduce(outcomes: Sequence[TrialOutcome]) -> ExperimentResult:
+    """Merge the three ablation payloads into one summary result."""
     merged = ExperimentResult(
         name="ablations",
         title="Design-choice ablations (scheduler, controller, macroflow sharing)",
         columns=["experiment", "row"],
     )
-    for sub in (run_scheduler_ablation(), run_controller_ablation(), run_sharing_ablation()):
-        for row in sub.rows:
-            merged.add_row(sub.name, " | ".join(str(v) for v in row))
-        merged.notes.extend(f"[{sub.name}] {note}" for note in sub.notes)
-        if progress is not None:
-            progress(f"{sub.name} done")
+    for outcome in outcomes:
+        sub = outcome.value
+        for row in sub["rows"]:
+            merged.add_row(sub["name"], " | ".join(str(v) for v in row))
+        merged.notes.extend(f"[{sub['name']}] {note}" for note in sub["notes"])
     return merged
+
+
+def run(progress: Optional[callable] = None) -> ExperimentResult:
+    """Run all three ablations and merge their summaries into one result."""
+    return reduce(run_trials(trials(), jobs=1, progress=progress))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

@@ -24,16 +24,20 @@ roughly half of the link.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis import jain_fairness
+from ..analysis.stats import summarize
 from ..core import CongestionManager
 from ..hostmodel import HostCosts
 from ..netsim import Simulator, build_dumbbell
 from ..transport.tcp import CMTCPSender, RenoTCPSender, TCPListener
 from .base import ExperimentResult
+from .parallel import TrialOutcome, TrialSpec, run_trials
 
-__all__ = ["run", "run_scenario"]
+__all__ = ["run", "trials", "run_trial", "reduce", "run_scenario"]
+
+DEFAULT_SEEDS = (17,)
 
 BOTTLENECK_BPS = 8e6
 BOTTLENECK_DELAY = 0.02
@@ -95,33 +99,49 @@ def run_scenario(mode: str, n_ensemble: int, duration: float, seed: int = 17) ->
     }
 
 
-def run(
-    ensemble_sizes=(2, 4, 6),
+def run_trial(params: dict) -> dict:
+    """One (mode, ensemble size, seed) dumbbell scenario."""
+    return run_scenario(params["mode"], params["n"], params["duration"], seed=params["seed"])
+
+
+def trials(
+    ensemble_sizes: Sequence[int] = (2, 4, 6),
     duration: float = 12.0,
-    progress: Optional[callable] = None,
-) -> ExperimentResult:
-    """Compare the reference flow's share against CM and independent ensembles."""
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> List[TrialSpec]:
+    """One trial per (ensemble size, mode, seed)."""
+    return [
+        TrialSpec(
+            "aggressiveness",
+            {"mode": mode, "n": n, "duration": duration, "seed": seed},
+        )
+        for n in ensemble_sizes
+        for mode in ("cm", "independent")
+        for seed in seeds
+    ]
+
+
+def reduce(outcomes: Sequence[TrialOutcome]) -> ExperimentResult:
+    """Average each scenario's reference share over seeds and tabulate."""
     result = ExperimentResult(
         name="aggressiveness",
         title="Share of the bottleneck left to a single competing TCP flow",
         columns=["ensemble_size", "reference_share_vs_cm", "reference_share_vs_independent",
                  "ideal_single_flow", "ideal_independent"],
     )
-    for n in ensemble_sizes:
-        cm = run_scenario("cm", n, duration)
-        independent = run_scenario("independent", n, duration)
+    grouped: Dict[int, Dict[str, List[float]]] = {}
+    for outcome in outcomes:
+        params = outcome.spec.params
+        per_size = grouped.setdefault(params["n"], {"cm": [], "independent": []})
+        per_size[params["mode"]].append(outcome.value["reference_share"])
+    for n, shares in grouped.items():
         result.add_row(
             n,
-            cm["reference_share"],
-            independent["reference_share"],
+            summarize(shares["cm"]).mean,
+            summarize(shares["independent"]).mean,
             0.5,
             1.0 / (n + 1),
         )
-        if progress is not None:
-            progress(
-                f"aggressiveness n={n}: reference share {cm['reference_share']:.2f} vs CM ensemble, "
-                f"{independent['reference_share']:.2f} vs independent connections"
-            )
     result.notes.append(
         "The CM ensemble shares one macroflow and so never takes more of the bottleneck than a single "
         "TCP flow would (here its per-connection windows are small, making it even more conservative); "
@@ -129,6 +149,17 @@ def run(
         "the paper's 'ensemble is not an overly aggressive user of the network' claim."
     )
     return result
+
+
+def run(
+    ensemble_sizes: Sequence[int] = (2, 4, 6),
+    duration: float = 12.0,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    progress: Optional[callable] = None,
+) -> ExperimentResult:
+    """Compare the reference flow's share against CM and independent ensembles."""
+    specs = trials(ensemble_sizes=ensemble_sizes, duration=duration, seeds=seeds)
+    return reduce(run_trials(specs, jobs=1, progress=progress))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

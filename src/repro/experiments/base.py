@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 __all__ = ["ExperimentResult", "format_table"]
 
@@ -38,6 +39,11 @@ class ExperimentResult:
     rows: List[List] = field(default_factory=list)
     series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    #: Run metadata (seeds, jobs, git rev, wall clock, cache counters).  It is
+    #: deliberately *excluded* from :meth:`payload`/:meth:`to_json` so the
+    #: main JSON artifact stays byte-identical across job counts and re-runs;
+    #: the artifacts module writes it to a ``.meta.json`` sidecar instead.
+    provenance: Dict[str, Any] = field(default_factory=dict)
 
     def add_row(self, *values) -> None:
         """Append one row of tabular output."""
@@ -51,6 +57,41 @@ class ExperimentResult:
         """Extract one column of the tabular output by header name."""
         index = self.columns.index(name)
         return [row[index] for row in self.rows]
+
+    def payload(self) -> Dict[str, Any]:
+        """The deterministic, JSON-able content of the result (no provenance)."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "series": {label: [list(point) for point in points] for label, points in self.series.items()},
+            "notes": list(self.notes),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering: sorted keys, 2-space indent, one trailing newline.
+
+        Two results with equal payloads serialize to byte-identical strings,
+        which is the property the determinism tests and the artifact cache
+        rely on.
+        """
+        return json.dumps(self.payload(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_json` output (series points become tuples)."""
+        payload = json.loads(text)
+        result = cls(
+            name=payload["name"],
+            title=payload["title"],
+            columns=list(payload["columns"]),
+            rows=[list(row) for row in payload["rows"]],
+            notes=list(payload["notes"]),
+        )
+        for label, points in payload["series"].items():
+            result.series[label] = [tuple(point) for point in points]
+        return result
 
     def to_text(self) -> str:
         """Human-readable rendering used by the CLI runner."""

@@ -13,16 +13,77 @@ rows:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .base import ExperimentResult
-from .layered_common import run_layered
+from .layered_common import run_layered_trial
+from .parallel import TrialOutcome, TrialSpec, run_trials
 
-__all__ = ["run"]
+__all__ = ["run", "trials", "run_trial", "reduce"]
 
 #: Constant-bandwidth path; the burstiness comes from the feedback batching,
 #: not from path changes.
 FLAT_SCHEDULE: Tuple[Tuple[float, float], ...] = ((0.0, 16e6),)
+
+run_trial = run_layered_trial
+
+
+def trials(
+    duration: float = 70.0,
+    ack_every_packets: int = 500,
+    ack_delay: float = 2.0,
+) -> List[TrialSpec]:
+    """A single trial: one delayed-feedback rate-callback run."""
+    return [
+        TrialSpec(
+            "figure10",
+            {
+                "mode": "rate",
+                "duration": duration,
+                "bandwidth_schedule": [list(step) for step in FLAT_SCHEDULE],
+                "ack_every_packets": ack_every_packets,
+                "ack_delay": ack_delay,
+                "thresh": 1.5,
+                "seed": 11,
+                "rate_bin": 1.0,
+            },
+        )
+    ]
+
+
+def reduce(outcomes: Sequence[TrialOutcome]) -> ExperimentResult:
+    """Turn the layered-run dict into the Figure 10 series and summary rows."""
+    outcome = outcomes[0].value
+    transmission_series = [tuple(point) for point in outcome["transmission_series"]]
+    reported_series = [tuple(point) for point in outcome["reported_series"]]
+    result = ExperimentResult(
+        name="figure10",
+        title="Rate-callback application with delayed feedback min(500 pkts, 2 s)",
+        columns=["metric", "value"],
+    )
+    result.add_series("transmission_rate", transmission_series)
+    result.add_series("cm_reported_rate", reported_series)
+
+    # When does the transmission rate first exceed the lowest layer?  With
+    # prompt feedback this happens almost immediately; with delayed feedback
+    # it waits for the first feedback batch (~2 s).
+    first_rise = next(
+        (t for t, v in transmission_series if v > 150_000), float("nan")
+    )
+    result.add_row("time_of_first_rate_increase_s", first_rise)
+    result.add_row("packets_sent", outcome["packets_sent"])
+    result.add_row("rate_callbacks", len(reported_series))
+    tx_values = [v for _t, v in transmission_series if v > 0]
+    if tx_values:
+        mean_tx = sum(tx_values) / len(tx_values)
+        peak = max(tx_values)
+        result.add_row("mean_transmission_rate_Bps", mean_tx)
+        result.add_row("peak_to_mean_ratio", peak / mean_tx if mean_tx else 0.0)
+    result.notes.append(
+        "Paper: the initial slow start is delayed about 2 s waiting for the first feedback batch, "
+        "and the reported rate is bursty because 500 acknowledgements arrive at once."
+    )
+    return result
 
 
 def run(
@@ -32,44 +93,8 @@ def run(
     progress: Optional[callable] = None,
 ) -> ExperimentResult:
     """Run the rate-callback server with batched receiver feedback."""
-    outcome = run_layered(
-        "rate",
-        duration=duration,
-        bandwidth_schedule=FLAT_SCHEDULE,
-        ack_every_packets=ack_every_packets,
-        ack_delay=ack_delay,
-        rate_bin=1.0,
-    )
-    result = ExperimentResult(
-        name="figure10",
-        title="Rate-callback application with delayed feedback min(500 pkts, 2 s)",
-        columns=["metric", "value"],
-    )
-    result.add_series("transmission_rate", outcome.transmission_series)
-    result.add_series("cm_reported_rate", outcome.reported_series)
-
-    # When does the transmission rate first exceed the lowest layer?  With
-    # prompt feedback this happens almost immediately; with delayed feedback
-    # it waits for the first feedback batch (~2 s).
-    first_rise = next(
-        (t for t, v in outcome.transmission_series if v > 150_000), float("nan")
-    )
-    result.add_row("time_of_first_rate_increase_s", first_rise)
-    result.add_row("packets_sent", outcome.packets_sent)
-    result.add_row("rate_callbacks", len(outcome.reported_series))
-    tx_values = [v for _t, v in outcome.transmission_series if v > 0]
-    if tx_values:
-        mean_tx = sum(tx_values) / len(tx_values)
-        peak = max(tx_values)
-        result.add_row("mean_transmission_rate_Bps", mean_tx)
-        result.add_row("peak_to_mean_ratio", peak / mean_tx if mean_tx else 0.0)
-    if progress is not None:
-        progress(f"figure10 first rise at {first_rise:.1f} s, {len(outcome.reported_series)} callbacks")
-    result.notes.append(
-        "Paper: the initial slow start is delayed about 2 s waiting for the first feedback batch, "
-        "and the reported rate is bursty because 500 acknowledgements arrive at once."
-    )
-    return result
+    specs = trials(duration=duration, ack_every_packets=ack_every_packets, ack_delay=ack_delay)
+    return reduce(run_trials(specs, jobs=1, progress=progress))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

@@ -10,14 +10,18 @@ of each other), with TCP/CM slightly below at very low loss because of its
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from ..analysis.stats import summarize
 from ..core import CongestionManager
 from ..transport.tcp import CMTCPSender, RenoTCPSender, TCPListener
 from .base import ExperimentResult
+from .parallel import TrialOutcome, TrialSpec, run_trials
 from .topology import dummynet_pair
 
-__all__ = ["run", "DEFAULT_LOSS_RATES"]
+__all__ = ["run", "trials", "run_trial", "reduce", "DEFAULT_LOSS_RATES", "DEFAULT_SEEDS"]
+
+DEFAULT_SEEDS = (1, 2)
 
 DEFAULT_LOSS_RATES = (0.0, 0.005, 0.01, 0.02, 0.03, 0.04, 0.05)
 
@@ -42,40 +46,74 @@ def _one_transfer(variant: str, loss_rate: float, transfer_bytes: int, seed: int
     return transfer_bytes / (sender.complete_time - sender.connect_time)
 
 
-def run(
+def run_trial(params: dict) -> float:
+    """Execute one (variant, loss, seed) transfer; pure function of ``params``."""
+    return _one_transfer(
+        params["variant"], params["loss"], params["transfer_bytes"], params["seed"]
+    )
+
+
+def trials(
     loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
     transfer_bytes: int = 2_000_000,
-    seeds: Sequence[int] = (1, 2),
-    progress: Optional[callable] = None,
-) -> ExperimentResult:
-    """Sweep loss rates and measure both sender variants.
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> List[TrialSpec]:
+    """One trial per (loss rate, variant, seed), in deterministic sweep order."""
+    return [
+        TrialSpec(
+            "figure3",
+            {"variant": variant, "loss": loss, "transfer_bytes": transfer_bytes, "seed": seed},
+        )
+        for loss in loss_rates
+        for variant in ("cm", "linux")
+        for seed in seeds
+    ]
 
-    ``seeds`` controls how many independent loss patterns are averaged per
-    point; the paper's curves are single runs, two seeds keep the harness
-    fast while smoothing the worst of the variance.
-    """
+
+def reduce(outcomes: Sequence[TrialOutcome]) -> ExperimentResult:
+    """Average the per-seed throughputs into the Figure 3 table with error bars."""
     result = ExperimentResult(
         name="figure3",
         title="Throughput vs. loss, 10 Mbps / 60 ms RTT (KB/s)",
-        columns=["loss_%", "tcp_cm_kBps", "tcp_linux_kBps", "ratio_cm_over_linux"],
+        columns=[
+            "loss_%", "tcp_cm_kBps", "tcp_linux_kBps", "ratio_cm_over_linux",
+            "cm_stddev_kBps", "cm_ci95_kBps", "linux_stddev_kBps", "linux_ci95_kBps", "seeds",
+        ],
     )
-    for loss in loss_rates:
-        cm_vals = []
-        linux_vals = []
-        for seed in seeds:
-            cm_vals.append(_one_transfer("cm", loss, transfer_bytes, seed))
-            linux_vals.append(_one_transfer("linux", loss, transfer_bytes, seed))
-        cm_kbps = sum(cm_vals) / len(cm_vals) / 1000.0
-        linux_kbps = sum(linux_vals) / len(linux_vals) / 1000.0
-        ratio = cm_kbps / linux_kbps if linux_kbps > 0 else 0.0
-        result.add_row(loss * 100.0, cm_kbps, linux_kbps, ratio)
-        if progress is not None:
-            progress(f"figure3 loss={loss:.3f} cm={cm_kbps:.1f} linux={linux_kbps:.1f}")
+    grouped: Dict[float, Dict[str, List[float]]] = {}
+    for outcome in outcomes:
+        params = outcome.spec.params
+        per_loss = grouped.setdefault(params["loss"], {"cm": [], "linux": []})
+        per_loss[params["variant"]].append(outcome.value / 1000.0)
+    for loss, values in grouped.items():
+        cm = summarize(values["cm"])
+        linux = summarize(values["linux"])
+        ratio = cm.mean / linux.mean if linux.mean > 0 else 0.0
+        result.add_row(
+            loss * 100.0, cm.mean, linux.mean, ratio,
+            cm.stddev, cm.ci95, linux.stddev, linux.ci95, cm.n,
+        )
     result.notes.append(
         "Paper: both variants degrade together from ~450-500 KB/s at zero loss; "
         "TCP/CM sits slightly below TCP/Linux at low loss (initial window of 1 vs 2)."
     )
     return result
+
+
+def run(
+    loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
+    transfer_bytes: int = 2_000_000,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    progress: Optional[callable] = None,
+) -> ExperimentResult:
+    """Sweep loss rates and measure both sender variants.
+
+    ``seeds`` controls how many independent loss patterns are averaged per
+    point; the paper's curves are single runs, a few seeds smooth the worst
+    of the variance and feed the stddev/CI columns.
+    """
+    specs = trials(loss_rates=loss_rates, transfer_bytes=transfer_bytes, seeds=seeds)
+    return reduce(run_trials(specs, jobs=1, progress=progress))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

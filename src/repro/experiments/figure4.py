@@ -12,14 +12,16 @@ heavy lifting lives in :func:`bulk_sweep` and Figure 5 reuses it.
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..apps.bulk import BulkResult, BulkTransferApp
 from ..core import CongestionManager
 from .base import ExperimentResult
+from .parallel import TrialOutcome, TrialSpec, run_trials
 from .topology import lan_pair
 
-__all__ = ["run", "bulk_sweep", "DEFAULT_BUFFER_COUNTS"]
+__all__ = ["run", "trials", "run_trial", "reduce", "bulk_sweep", "DEFAULT_BUFFER_COUNTS"]
 
 #: Buffer counts swept by default.  The paper goes to 10^6 buffers (1.45 GB);
 #: the default here stops at 10^5 to keep the harness runnable in minutes on
@@ -30,48 +32,87 @@ BUFFER_SIZE = 1448
 RECEIVE_WINDOW = 64 * 1024
 
 
+def run_trial(params: dict) -> dict:
+    """One ttcp transfer for (variant, nbuffers); returns the BulkResult as a dict."""
+    testbed = lan_pair(seed=params["seed"])
+    if params["variant"] == "cm":
+        CongestionManager(testbed.sender)
+    app = BulkTransferApp(
+        testbed.sender,
+        testbed.receiver,
+        variant=params["variant"],
+        buffer_size=params["buffer_size"],
+        receive_window=params["receive_window"],
+    )
+    outcome = app.run(testbed.sim, params["nbuffers"])
+    app.close()
+    return asdict(outcome)
+
+
+def trials(
+    buffer_counts: Sequence[int] = DEFAULT_BUFFER_COUNTS,
+    seed: int = 7,
+) -> List[TrialSpec]:
+    """One trial per (buffer count, variant); shared with Figure 5 via the cache."""
+    return [
+        TrialSpec(
+            "figure4",
+            {
+                "variant": variant,
+                "nbuffers": nbuffers,
+                "seed": seed,
+                "buffer_size": BUFFER_SIZE,
+                "receive_window": RECEIVE_WINDOW,
+            },
+        )
+        for nbuffers in buffer_counts
+        for variant in ("linux", "cm")
+    ]
+
+
+def _group_by_buffers(outcomes: Sequence[TrialOutcome]) -> Dict[int, Dict[str, BulkResult]]:
+    """Index trial outcomes as {nbuffers: {variant: BulkResult}} in sweep order."""
+    grouped: Dict[int, Dict[str, BulkResult]] = {}
+    for outcome in outcomes:
+        value = dict(outcome.value)
+        grouped.setdefault(value["nbuffers"], {})[value["variant"]] = BulkResult(**value)
+    return grouped
+
+
+def _outcomes_from_sweep(
+    sweep: Dict[str, List[Tuple[int, BulkResult]]]
+) -> List[TrialOutcome]:
+    """Adapt a legacy ``bulk_sweep`` mapping into trial outcomes."""
+    outcomes: List[TrialOutcome] = []
+    for variant in ("linux", "cm"):
+        for nbuffers, bulk_result in sweep[variant]:
+            spec = TrialSpec("figure4", {"variant": variant, "nbuffers": nbuffers})
+            outcomes.append(TrialOutcome(spec=spec, value=asdict(bulk_result)))
+    return outcomes
+
+
 def bulk_sweep(
     buffer_counts: Sequence[int] = DEFAULT_BUFFER_COUNTS,
     progress: Optional[callable] = None,
 ) -> Dict[str, List[Tuple[int, BulkResult]]]:
     """Run the ttcp workload for both variants at every buffer count."""
     outcomes: Dict[str, List[Tuple[int, BulkResult]]] = {"cm": [], "linux": []}
-    for nbuffers in buffer_counts:
-        for variant in ("linux", "cm"):
-            testbed = lan_pair(seed=7)
-            if variant == "cm":
-                CongestionManager(testbed.sender)
-            app = BulkTransferApp(
-                testbed.sender,
-                testbed.receiver,
-                variant=variant,
-                buffer_size=BUFFER_SIZE,
-                receive_window=RECEIVE_WINDOW,
-            )
-            outcome = app.run(testbed.sim, nbuffers)
-            app.close()
-            outcomes[variant].append((nbuffers, outcome))
-            if progress is not None:
-                progress(
-                    f"figure4 {variant} buffers={nbuffers} "
-                    f"thr={outcome.throughput_kbytes:.0f} KB/s cpu={outcome.cpu_utilization:.3f}"
-                )
+    for trial_outcome in run_trials(trials(buffer_counts), jobs=1, progress=progress):
+        value = dict(trial_outcome.value)
+        outcomes[value["variant"]].append((value["nbuffers"], BulkResult(**value)))
     return outcomes
 
 
-def run(
-    buffer_counts: Sequence[int] = DEFAULT_BUFFER_COUNTS,
-    progress: Optional[callable] = None,
-    sweep: Optional[Dict[str, List[Tuple[int, BulkResult]]]] = None,
-) -> ExperimentResult:
-    """Produce the Figure 4 throughput table."""
-    outcomes = sweep if sweep is not None else bulk_sweep(buffer_counts, progress)
+def reduce(outcomes: Sequence[TrialOutcome]) -> ExperimentResult:
+    """Build the Figure 4 throughput table from bulk-transfer trial outcomes."""
     result = ExperimentResult(
         name="figure4",
         title="100 Mbps TCP throughput comparison (KB/s)",
         columns=["buffers", "cm_kBps", "linux_kBps", "difference_%"],
     )
-    for (nbuffers, cm_result), (_n2, linux_result) in zip(outcomes["cm"], outcomes["linux"]):
+    for nbuffers, by_variant in _group_by_buffers(outcomes).items():
+        cm_result = by_variant["cm"]
+        linux_result = by_variant["linux"]
         difference = 0.0
         if linux_result.throughput > 0:
             difference = 100.0 * (linux_result.throughput - cm_result.throughput) / linux_result.throughput
@@ -87,6 +128,17 @@ def run(
         "because the sweep is truncated to interpreter-friendly sizes."
     )
     return result
+
+
+def run(
+    buffer_counts: Sequence[int] = DEFAULT_BUFFER_COUNTS,
+    progress: Optional[callable] = None,
+    sweep: Optional[Dict[str, List[Tuple[int, BulkResult]]]] = None,
+) -> ExperimentResult:
+    """Produce the Figure 4 throughput table."""
+    if sweep is not None:
+        return reduce(_outcomes_from_sweep(sweep))
+    return reduce(run_trials(trials(buffer_counts), jobs=1, progress=progress))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

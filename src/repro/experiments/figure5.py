@@ -12,24 +12,31 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..apps.bulk import BulkResult
 from .base import ExperimentResult
-from .figure4 import DEFAULT_BUFFER_COUNTS, bulk_sweep
+from .figure4 import DEFAULT_BUFFER_COUNTS, _group_by_buffers, _outcomes_from_sweep
+from .figure4 import trials as figure4_trials
+from .parallel import TrialOutcome, TrialSpec, run_trials
 
-__all__ = ["run"]
+__all__ = ["run", "trials", "reduce"]
 
 
-def run(
+def trials(
     buffer_counts: Sequence[int] = DEFAULT_BUFFER_COUNTS,
-    progress: Optional[callable] = None,
-    sweep: Optional[Dict[str, List[Tuple[int, BulkResult]]]] = None,
-) -> ExperimentResult:
-    """Produce the Figure 5 CPU-utilisation table."""
-    outcomes = sweep if sweep is not None else bulk_sweep(buffer_counts, progress)
+    seed: int = 7,
+) -> List[TrialSpec]:
+    """Figure 5 shares Figure 4's trials (and therefore its cache entries)."""
+    return figure4_trials(buffer_counts, seed=seed)
+
+
+def reduce(outcomes: Sequence[TrialOutcome]) -> ExperimentResult:
+    """Build the Figure 5 CPU-utilisation table from bulk-transfer outcomes."""
     result = ExperimentResult(
         name="figure5",
         title="CPU utilisation during bulk TCP transfers (%)",
         columns=["buffers", "cm_cpu_%", "linux_cpu_%", "difference_points"],
     )
-    for (nbuffers, cm_result), (_n2, linux_result) in zip(outcomes["cm"], outcomes["linux"]):
+    for nbuffers, by_variant in _group_by_buffers(outcomes).items():
+        cm_result = by_variant["cm"]
+        linux_result = by_variant["linux"]
         result.add_row(
             nbuffers,
             cm_result.cpu_utilization * 100.0,
@@ -41,6 +48,17 @@ def run(
         "for long transfers (the CM's per-packet kernel bookkeeping)."
     )
     return result
+
+
+def run(
+    buffer_counts: Sequence[int] = DEFAULT_BUFFER_COUNTS,
+    progress: Optional[callable] = None,
+    sweep: Optional[Dict[str, List[Tuple[int, BulkResult]]]] = None,
+) -> ExperimentResult:
+    """Produce the Figure 5 CPU-utilisation table."""
+    if sweep is not None:
+        return reduce(_outcomes_from_sweep(sweep))
+    return reduce(run_trials(trials(buffer_counts), jobs=1, progress=progress))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

@@ -14,15 +14,17 @@ and process its acknowledgement.  The reproducible claims:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from dataclasses import asdict
+from typing import Dict, List, Optional, Sequence
 
 from ..apps.alfapp import ApiOverheadResult, TCPApiTestApp, TCP_VARIANTS, UDPApiTestApp, UDP_VARIANTS
 from ..core import CongestionManager
 from ..transport.udp.feedback import AckReflector
 from .base import ExperimentResult
+from .parallel import TrialOutcome, TrialSpec, run_trials
 from .topology import lan_pair
 
-__all__ = ["run", "run_variant", "DEFAULT_PACKET_SIZES", "ALL_VARIANTS"]
+__all__ = ["run", "trials", "run_trial", "reduce", "run_variant", "DEFAULT_PACKET_SIZES", "ALL_VARIANTS"]
 
 DEFAULT_PACKET_SIZES = (168, 400, 700, 1000, 1400)
 ALL_VARIANTS = UDP_VARIANTS + TCP_VARIANTS
@@ -58,29 +60,52 @@ def run_variant(variant: str, packet_size: int, npackets: int = 2000, seed: int 
     return outcome
 
 
-def run(
+def run_trial(params: dict) -> dict:
+    """One (variant, packet size) cell; returns the ApiOverheadResult as a dict."""
+    outcome = run_variant(
+        params["variant"],
+        params["packet_size"],
+        npackets=params["npackets"],
+        seed=params["seed"],
+    )
+    return asdict(outcome)
+
+
+def trials(
     packet_sizes: Sequence[int] = DEFAULT_PACKET_SIZES,
     variants: Sequence[str] = ALL_VARIANTS,
     npackets: int = 2000,
-    progress: Optional[callable] = None,
-) -> ExperimentResult:
-    """Produce the Figure 6 matrix of per-packet costs."""
+    seed: int = 0,
+) -> List[TrialSpec]:
+    """One trial per (packet size, variant) cell of the Figure 6 matrix."""
+    return [
+        TrialSpec(
+            "figure6",
+            {"variant": variant, "packet_size": size, "npackets": npackets, "seed": seed},
+        )
+        for size in packet_sizes
+        for variant in variants
+    ]
+
+
+def reduce(outcomes: Sequence[TrialOutcome]) -> ExperimentResult:
+    """Assemble the per-packet cost matrix from the trial cells."""
+    cells: Dict[int, Dict[str, ApiOverheadResult]] = {}
+    variants: List[str] = []
+    for outcome in outcomes:
+        params = outcome.spec.params
+        cells.setdefault(params["packet_size"], {})[params["variant"]] = ApiOverheadResult(
+            **outcome.value
+        )
+        if params["variant"] not in variants:
+            variants.append(params["variant"])
+    packet_sizes = list(cells)
     result = ExperimentResult(
         name="figure6",
         title="API cost per packet on a 100 Mbps link (microseconds)",
         columns=["packet_size"] + list(variants),
     )
-    cells: Dict[int, Dict[str, ApiOverheadResult]] = {}
     for size in packet_sizes:
-        cells[size] = {}
-        for variant in variants:
-            outcome = run_variant(variant, size, npackets=npackets)
-            cells[size][variant] = outcome
-            if progress is not None:
-                progress(
-                    f"figure6 {variant} size={size} us/pkt={outcome.us_per_packet:.1f} "
-                    f"(cpu {outcome.cpu_us_per_packet:.1f})"
-                )
         result.add_row(size, *[cells[size][v].us_per_packet for v in variants])
     if "alf_noconnect" in variants and "tcp_cm_nodelay" in variants:
         smallest = min(packet_sizes)
@@ -97,6 +122,17 @@ def run(
         "ALF/noconnect > ALF > Buffered > TCP/CM nodelay > TCP/CM ~ TCP/Linux is the reproduced claim."
     )
     return result
+
+
+def run(
+    packet_sizes: Sequence[int] = DEFAULT_PACKET_SIZES,
+    variants: Sequence[str] = ALL_VARIANTS,
+    npackets: int = 2000,
+    progress: Optional[callable] = None,
+) -> ExperimentResult:
+    """Produce the Figure 6 matrix of per-packet costs."""
+    specs = trials(packet_sizes=packet_sizes, variants=variants, npackets=npackets)
+    return reduce(run_trials(specs, jobs=1, progress=progress))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

@@ -13,18 +13,21 @@ Linux's 2.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
+from ..analysis.stats import summarize
 from ..apps.webserver import FileServer, WebClient
 from ..core import CongestionManager
 from .base import ExperimentResult
+from .parallel import TrialOutcome, TrialSpec, run_trials
 from .topology import wan_pair
 
-__all__ = ["run"]
+__all__ = ["run", "trials", "run_trial", "reduce"]
 
 FILE_SIZE = 128 * 1024
 N_REQUESTS = 9
 REQUEST_SPACING = 0.5
+DEFAULT_SEEDS = (3,)
 
 
 def _run_variant(variant: str, file_size: int, n_requests: int, spacing: float, seed: int):
@@ -43,26 +46,65 @@ def _run_variant(variant: str, file_size: int, n_requests: int, spacing: float, 
     return durations
 
 
-def run(
+def run_trial(params: dict) -> List[float]:
+    """All request durations for one (variant, seed) run of the fetch train."""
+    return _run_variant(
+        params["variant"],
+        params["file_size"],
+        params["n_requests"],
+        params["spacing"],
+        params["seed"],
+    )
+
+
+def trials(
     file_size: int = FILE_SIZE,
     n_requests: int = N_REQUESTS,
     spacing: float = REQUEST_SPACING,
-    seed: int = 3,
-    progress: Optional[callable] = None,
-) -> ExperimentResult:
-    """Time every request for both server variants."""
-    cm_durations = _run_variant("cm", file_size, n_requests, spacing, seed)
-    linux_durations = _run_variant("linux", file_size, n_requests, spacing, seed)
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> List[TrialSpec]:
+    """One trial per (variant, seed); each yields the full request train."""
+    return [
+        TrialSpec(
+            "figure7",
+            {
+                "variant": variant,
+                "file_size": file_size,
+                "n_requests": n_requests,
+                "spacing": spacing,
+                "seed": seed,
+            },
+        )
+        for variant in ("cm", "linux")
+        for seed in seeds
+    ]
+
+
+def reduce(outcomes: Sequence[TrialOutcome]) -> ExperimentResult:
+    """Average per-request durations across seeds for both variants."""
+    by_variant: Dict[str, List[List[float]]] = {"cm": [], "linux": []}
+    n_requests = 0
+    for outcome in outcomes:
+        by_variant[outcome.spec.params["variant"]].append(list(outcome.value))
+        n_requests = outcome.spec.params["n_requests"]
     result = ExperimentResult(
         name="figure7",
         title="Sequential 128 kB fetches, ms to complete each request",
-        columns=["request", "tcp_cm_ms", "tcp_linux_ms", "cm_speedup_%"],
+        columns=["request", "tcp_cm_ms", "tcp_linux_ms", "cm_speedup_%", "cm_ci95_ms", "linux_ci95_ms"],
     )
-    for index, (cm_d, linux_d) in enumerate(zip(cm_durations, linux_durations), start=1):
-        speedup = 100.0 * (linux_d - cm_d) / linux_d if linux_d > 0 else 0.0
-        result.add_row(index, cm_d * 1000.0, linux_d * 1000.0, speedup)
-        if progress is not None:
-            progress(f"figure7 request {index}: cm={cm_d*1000:.0f} ms linux={linux_d*1000:.0f} ms")
+    n_common = min(len(durations) for durations in by_variant["cm"] + by_variant["linux"])
+    cm_durations: List[float] = []
+    linux_durations: List[float] = []
+    for index in range(n_common):
+        cm = summarize([durations[index] for durations in by_variant["cm"]])
+        linux = summarize([durations[index] for durations in by_variant["linux"]])
+        cm_durations.append(cm.mean)
+        linux_durations.append(linux.mean)
+        speedup = 100.0 * (linux.mean - cm.mean) / linux.mean if linux.mean > 0 else 0.0
+        result.add_row(
+            index + 1, cm.mean * 1000.0, linux.mean * 1000.0, speedup,
+            cm.ci95 * 1000.0, linux.ci95 * 1000.0,
+        )
     later_cm = sum(cm_durations[2:]) / max(1, len(cm_durations[2:]))
     later_linux = sum(linux_durations[2:]) / max(1, len(linux_durations[2:]))
     if later_linux > 0:
@@ -75,6 +117,21 @@ def run(
         "requests avoid slow start entirely by inheriting the macroflow's window."
     )
     return result
+
+
+def run(
+    file_size: int = FILE_SIZE,
+    n_requests: int = N_REQUESTS,
+    spacing: float = REQUEST_SPACING,
+    seed: int = 3,
+    seeds: Optional[Sequence[int]] = None,
+    progress: Optional[callable] = None,
+) -> ExperimentResult:
+    """Time every request for both server variants (averaged over ``seeds``)."""
+    if seeds is None:
+        seeds = (seed,)
+    specs = trials(file_size=file_size, n_requests=n_requests, spacing=spacing, seeds=seeds)
+    return reduce(run_trials(specs, jobs=1, progress=progress))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

@@ -11,13 +11,67 @@ imposed bandwidth changes.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..analysis import oscillation_count
 from .base import ExperimentResult
-from .layered_common import DEFAULT_BANDWIDTH_SCHEDULE, run_layered
+from .layered_common import DEFAULT_BANDWIDTH_SCHEDULE, run_layered_trial
+from .parallel import TrialOutcome, TrialSpec, run_trials
 
-__all__ = ["run"]
+__all__ = ["run", "trials", "run_trial", "reduce"]
+
+run_trial = run_layered_trial
+
+
+def trials(
+    duration: float = 20.0,
+    bandwidth_schedule: Sequence[Tuple[float, float]] = DEFAULT_BANDWIDTH_SCHEDULE,
+) -> List[TrialSpec]:
+    """A single trial: one rate-callback layered-streaming run."""
+    return [
+        TrialSpec(
+            "figure9",
+            {
+                "mode": "rate",
+                "duration": duration,
+                "bandwidth_schedule": [list(step) for step in bandwidth_schedule],
+                "ack_every_packets": 1,
+                "ack_delay": None,
+                "thresh": 1.5,
+                "seed": 11,
+                "rate_bin": 0.5,
+            },
+        )
+    ]
+
+
+def reduce(outcomes: Sequence[TrialOutcome]) -> ExperimentResult:
+    """Turn the layered-run dict into the Figure 9 series and summary rows."""
+    outcome = outcomes[0].value
+    transmission_series = [tuple(point) for point in outcome["transmission_series"]]
+    reported_series = [tuple(point) for point in outcome["reported_series"]]
+    result = ExperimentResult(
+        name="figure9",
+        title="Layered application, rate-callback API: rate over time (bytes/s)",
+        columns=["metric", "value"],
+    )
+    result.add_series("transmission_rate", transmission_series)
+    result.add_series("cm_reported_rate", reported_series)
+    mean_tx = (
+        sum(v for _t, v in transmission_series) / len(transmission_series)
+        if transmission_series
+        else 0.0
+    )
+    result.add_row("mean_transmission_rate_Bps", mean_tx)
+    result.add_row("packets_sent", outcome["packets_sent"])
+    result.add_row("bytes_received_at_client", outcome["bytes_received"])
+    result.add_row("layer_switches", oscillation_count([layer for _t, layer in outcome["layer_history"]]))
+    result.add_row("rate_callbacks", len(reported_series))
+    result.notes.append(
+        "Paper: the rate-callback sender adapts with fewer, threshold-driven layer changes "
+        "than the ALF sender (Figure 8) at a much lower notification overhead."
+    )
+    return result
 
 
 def run(
@@ -26,31 +80,8 @@ def run(
     progress: Optional[callable] = None,
 ) -> ExperimentResult:
     """Run the rate-callback layered server and report its rate time-series."""
-    outcome = run_layered("rate", duration=duration, bandwidth_schedule=bandwidth_schedule)
-    result = ExperimentResult(
-        name="figure9",
-        title="Layered application, rate-callback API: rate over time (bytes/s)",
-        columns=["metric", "value"],
-    )
-    result.add_series("transmission_rate", outcome.transmission_series)
-    result.add_series("cm_reported_rate", outcome.reported_series)
-    mean_tx = (
-        sum(v for _t, v in outcome.transmission_series) / len(outcome.transmission_series)
-        if outcome.transmission_series
-        else 0.0
-    )
-    result.add_row("mean_transmission_rate_Bps", mean_tx)
-    result.add_row("packets_sent", outcome.packets_sent)
-    result.add_row("bytes_received_at_client", outcome.bytes_received)
-    result.add_row("layer_switches", oscillation_count([layer for _t, layer in outcome.layer_history]))
-    result.add_row("rate_callbacks", len(outcome.reported_series))
-    if progress is not None:
-        progress(f"figure9 mean tx rate {mean_tx:.0f} B/s, {len(outcome.reported_series)} callbacks")
-    result.notes.append(
-        "Paper: the rate-callback sender adapts with fewer, threshold-driven layer changes "
-        "than the ALF sender (Figure 8) at a much lower notification overhead."
-    )
-    return result
+    specs = trials(duration=duration, bandwidth_schedule=bandwidth_schedule)
+    return reduce(run_trials(specs, jobs=1, progress=progress))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

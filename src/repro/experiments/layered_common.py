@@ -10,7 +10,7 @@ feedback.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..apps.layered import LayeredStreamingServer
@@ -18,7 +18,7 @@ from ..core import CongestionManager
 from ..transport.udp.feedback import AckReflector
 from .topology import wan_pair
 
-__all__ = ["LayeredRun", "run_layered", "DEFAULT_BANDWIDTH_SCHEDULE"]
+__all__ = ["LayeredRun", "run_layered", "run_layered_trial", "DEFAULT_BANDWIDTH_SCHEDULE"]
 
 #: (time, bandwidth in bits/s) steps applied to the channel during the run;
 #: chosen so the best sustainable rate crosses several of the default layer
@@ -95,3 +95,23 @@ def run_layered(
     )
     reflector.close()
     return run
+
+
+def run_layered_trial(params: dict) -> dict:
+    """JSON-able trial wrapper around :func:`run_layered` (Figures 8-10).
+
+    ``params`` carries every knob that affects the run, so the trial cache
+    key fully determines the result; the LayeredRun dataclass is returned as
+    a plain dict (series become ``[time, value]`` pairs).
+    """
+    outcome = run_layered(
+        params["mode"],
+        duration=params["duration"],
+        bandwidth_schedule=[tuple(step) for step in params["bandwidth_schedule"]],
+        ack_every_packets=params.get("ack_every_packets", 1),
+        ack_delay=params.get("ack_delay"),
+        thresh=params.get("thresh", 1.5),
+        seed=params.get("seed", 11),
+        rate_bin=params.get("rate_bin", 0.5),
+    )
+    return asdict(outcome)

@@ -16,12 +16,13 @@ step from one API to the next.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .base import ExperimentResult
 from .figure6 import run_variant
+from .parallel import TrialOutcome, TrialSpec, run_trials
 
-__all__ = ["run", "TRACKED_OPERATIONS"]
+__all__ = ["run", "trials", "run_trial", "reduce", "TRACKED_OPERATIONS"]
 
 #: Ledger operations that appear in the paper's Table 1.
 TRACKED_OPERATIONS = ("ioctl", "select_call", "recv_call", "gettimeofday", "send_call")
@@ -30,19 +31,30 @@ TRACKED_OPERATIONS = ("ioctl", "select_call", "recv_call", "gettimeofday", "send
 API_ORDER = ("alf_noconnect", "alf", "buffered", "tcp_cm")
 
 
-def run(
+def run_trial(params: dict) -> Dict[str, float]:
+    """Per-packet operation counts for one API; pure function of ``params``."""
+    outcome = run_variant(params["api"], params["packet_size"], npackets=params["npackets"])
+    return {op: outcome.ops_per_packet(op) for op in TRACKED_OPERATIONS}
+
+
+def trials(
     packet_size: int = 1000,
     npackets: int = 1000,
     apis: Sequence[str] = API_ORDER,
-    progress: Optional[callable] = None,
-) -> ExperimentResult:
-    """Measure per-packet operation counts for each API."""
-    per_api: Dict[str, Dict[str, float]] = {}
-    for api in apis:
-        outcome = run_variant(api, packet_size, npackets=npackets)
-        per_api[api] = {op: outcome.ops_per_packet(op) for op in TRACKED_OPERATIONS}
-        if progress is not None:
-            progress(f"table1 {api}: " + ", ".join(f"{op}={v:.2f}" for op, v in per_api[api].items()))
+) -> List[TrialSpec]:
+    """One trial per measured API."""
+    return [
+        TrialSpec("table1", {"api": api, "packet_size": packet_size, "npackets": npackets})
+        for api in apis
+    ]
+
+
+def reduce(outcomes: Sequence[TrialOutcome]) -> ExperimentResult:
+    """Build the Table 1 operation-count table and cumulative-difference notes."""
+    per_api: Dict[str, Dict[str, float]] = {
+        outcome.spec.params["api"]: dict(outcome.value) for outcome in outcomes
+    }
+    apis = [outcome.spec.params["api"] for outcome in outcomes]
 
     result = ExperimentResult(
         name="table1",
@@ -66,6 +78,17 @@ def run(
         "Buffered adds a recv and two gettimeofday calls over TCP/CM."
     )
     return result
+
+
+def run(
+    packet_size: int = 1000,
+    npackets: int = 1000,
+    apis: Sequence[str] = API_ORDER,
+    progress: Optional[callable] = None,
+) -> ExperimentResult:
+    """Measure per-packet operation counts for each API."""
+    specs = trials(packet_size=packet_size, npackets=npackets, apis=apis)
+    return reduce(run_trials(specs, jobs=1, progress=progress))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import gc
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass, field
@@ -284,22 +285,60 @@ def bench_figure3_scenario(transfer_bytes: int, repeats: int) -> BenchResult:
 
 
 # ====================================================================== #
+# Parallel experiment runner: trial sharding across a process pool       #
+# ====================================================================== #
+def bench_experiments_parallel(
+    n_seeds: int, transfer_bytes: int, jobs: int, repeats: int
+) -> BenchResult:
+    """Figure-3 trial shards at ``jobs`` workers vs. the serial (jobs=1) path.
+
+    The baseline is the exact same trial list executed serially in-process,
+    so the speedup column reads as the pool's scaling factor; on a single
+    core it hovers around (or slightly below) 1.0 — the fork/IPC overhead —
+    and approaches the worker count on multi-core machines.
+    """
+    from ..experiments import figure3
+    from ..experiments.parallel import time_trials
+
+    specs = figure3.trials(
+        loss_rates=(0.01,), transfer_bytes=transfer_bytes, seeds=tuple(range(1, n_seeds + 1))
+    )
+    wall, base = _best_of_pair(
+        lambda: time_trials(specs, jobs=jobs),
+        lambda: time_trials(specs, jobs=1),
+        repeats,
+    )
+    return BenchResult(
+        name="experiments_parallel",
+        ops=len(specs),
+        wall_s=wall,
+        baseline_wall_s=base,
+        notes=f"{len(specs)} figure3 trials, jobs={jobs} pool vs jobs=1 serial; ops = trials",
+        extra={"jobs": float(jobs), "cpu_count": float(os.cpu_count() or 1)},
+    )
+
+
+# ====================================================================== #
 # Driver                                                                 #
 # ====================================================================== #
 #: Workload sizes: (event_churn_n, timer_restart_n, grant_flows,
-#: grant_requests_per_flow, figure3_bytes, repeats)
-_FULL = (200_000, 200_000, 64, 256, 500_000, 5)
-_QUICK = (30_000, 30_000, 32, 64, 100_000, 3)
+#: grant_requests_per_flow, figure3_bytes, parallel_seeds,
+#: parallel_transfer_bytes, repeats)
+_FULL = (200_000, 200_000, 64, 256, 500_000, 8, 200_000, 5)
+_QUICK = (30_000, 30_000, 32, 64, 100_000, 4, 60_000, 3)
 
 
 def run_benchmarks(quick: bool = False, label: str = "BENCH_PR1") -> dict:
     """Run every benchmark and return the JSON-ready report dict."""
-    churn_n, timer_n, grant_flows, grant_reqs, fig3_bytes, repeats = _QUICK if quick else _FULL
+    sizes = _QUICK if quick else _FULL
+    churn_n, timer_n, grant_flows, grant_reqs, fig3_bytes, par_seeds, par_bytes, repeats = sizes
+    pool_jobs = max(2, min(4, os.cpu_count() or 1))
     results = [
         bench_event_churn(churn_n, repeats),
         bench_timer_restart(timer_n, repeats),
         bench_grant_dispatch(grant_flows, grant_reqs, repeats),
         bench_figure3_scenario(fig3_bytes, repeats),
+        bench_experiments_parallel(par_seeds, par_bytes, pool_jobs, min(repeats, 2)),
     ]
     return {
         "meta": {

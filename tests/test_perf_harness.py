@@ -32,6 +32,19 @@ class TestWorkloads:
         for flow in macroflow.flows.values():
             assert flow.stats.grants == 16
 
+    def test_experiments_parallel_benchmark_row(self):
+        result = harness.bench_experiments_parallel(
+            n_seeds=2, transfer_bytes=40_000, jobs=2, repeats=1
+        )
+        # 1 loss rate x 2 variants x 2 seeds.
+        assert result.ops == 4
+        assert result.wall_s > 0
+        assert result.speedup is not None and result.speedup > 0
+        payload = result.to_dict()
+        assert payload["jobs"] == 2.0
+        assert payload["cpu_count"] >= 1.0
+        assert "figure3 trials" in payload["notes"]
+
     def test_legacy_simulator_matches_current_semantics(self):
         from repro.netsim.engine import Simulator
 

@@ -1,0 +1,189 @@
+"""Property-based coverage (hypothesis) for the trial layer and its helpers.
+
+Three families of invariants:
+
+* the sharded executor: random seed sets and job counts never change what
+  ``reduce()`` sees — outcomes always arrive in spec order, with the same
+  JSON-normalized values a serial run would produce;
+* the statistics: the NumPy-free mean/stddev/CI agree with the stdlib
+  ``statistics`` module on random samples;
+* ``format_table``: arbitrary cell widths round-trip through the renderer
+  without misalignment.
+"""
+
+import json
+import math
+import statistics
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import stats
+from repro.experiments import figure3
+from repro.experiments.base import format_table
+from repro.experiments.parallel import TrialOutcome, TrialSpec, run_trials
+from repro.experiments.registry import ExperimentSpec, register, unregister
+
+# --------------------------------------------------------------------- #
+# A deterministic, instant fake experiment for executor properties.      #
+# --------------------------------------------------------------------- #
+_ECHO_NAME = "_prop_echo"
+
+
+def _echo_trial(params: dict) -> dict:
+    seed = params["seed"]
+    # An arbitrary but deterministic function of the seed, mixing int and
+    # float payloads so JSON normalization is exercised on both.
+    return {"seed": seed, "hash": (seed * 2654435761) % 1_000_003, "value": seed / 7.0}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _register_echo_experiment():
+    register(
+        ExperimentSpec(
+            name=_ECHO_NAME,
+            trials=lambda seeds=(): [TrialSpec(_ECHO_NAME, {"seed": s}) for s in seeds],
+            trial=_echo_trial,
+            reduce=lambda outcomes: None,
+            run=lambda **kwargs: None,
+            supports_seeds=True,
+        )
+    )
+    yield
+    unregister(_ECHO_NAME)
+
+
+class TestExecutorProperties:
+    @given(
+        seeds=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=12, unique=True),
+        jobs=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_jobs_never_change_outcomes_or_order(self, seeds, jobs):
+        specs = [TrialSpec(_ECHO_NAME, {"seed": seed}) for seed in seeds]
+        expected = [json.loads(json.dumps(_echo_trial(spec.params))) for spec in specs]
+        outcomes = run_trials(specs, jobs=jobs)
+        assert [outcome.value for outcome in outcomes] == expected
+        assert [outcome.spec.params["seed"] for outcome in outcomes] == list(seeds)
+
+    @given(seeds=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=8, unique=True))
+    @settings(max_examples=20, deadline=None)
+    def test_cache_key_is_stable_and_collision_free_across_params(self, seeds):
+        specs = [TrialSpec(_ECHO_NAME, {"seed": seed}) for seed in seeds]
+        keys = {spec.cache_key() for spec in specs}
+        assert len(keys) == len(seeds)
+        assert all(spec.cache_key() == spec.cache_key() for spec in specs)
+
+    @given(
+        throughputs=st.lists(
+            st.floats(min_value=1.0, max_value=1e6, allow_nan=False), min_size=2, max_size=8
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_figure3_reduce_is_pure(self, throughputs):
+        # reduce() must be a pure function of the outcome list: synthetic
+        # trial values, two calls, byte-identical JSON.
+        specs = figure3.trials(
+            loss_rates=(0.01,), transfer_bytes=1000, seeds=tuple(range(len(throughputs)))
+        )
+        outcomes = [
+            TrialOutcome(spec=spec, value=throughputs[index % len(throughputs)])
+            for index, spec in enumerate(specs)
+        ]
+        assert figure3.reduce(outcomes).to_json() == figure3.reduce(outcomes).to_json()
+
+
+class TestStatsMatchReference:
+    @given(
+        samples=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=2, max_size=40
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_mean_and_stddev_match_stdlib(self, samples):
+        summary = stats.summarize(samples)
+        assert math.isclose(summary.mean, statistics.fmean(samples), rel_tol=1e-9, abs_tol=1e-6)
+        assert math.isclose(
+            summary.stddev, statistics.stdev(samples), rel_tol=1e-7, abs_tol=1e-6
+        )
+
+    @given(
+        samples=st.lists(
+            st.floats(min_value=-1e4, max_value=1e4, allow_nan=False), min_size=2, max_size=40
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ci_matches_t_times_standard_error(self, samples):
+        summary = stats.summarize(samples)
+        expected = (
+            stats.t_critical_95(len(samples) - 1)
+            * statistics.stdev(samples)
+            / math.sqrt(len(samples))
+        )
+        assert math.isclose(summary.ci95, expected, rel_tol=1e-7, abs_tol=1e-6)
+
+    def test_degenerate_sample_counts(self):
+        assert stats.summarize([]).mean == 0.0
+        assert stats.summarize([5.0]).stddev == 0.0
+        assert stats.summarize([5.0]).ci95 == 0.0
+        assert stats.t_critical_95(0) == 0.0
+        # t decreases towards the normal critical value as df grows.
+        assert stats.t_critical_95(1) > stats.t_critical_95(10) > stats.t_critical_95(1000)
+        assert stats.t_critical_95(1000) == pytest.approx(1.960)
+
+
+_cell = st.one_of(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.",
+        min_size=0,
+        max_size=18,
+    ),
+    st.integers(min_value=-10**12, max_value=10**12),
+)
+
+
+class TestFormatTableRoundTrip:
+    @staticmethod
+    def _fmt(value):
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    @given(
+        columns=st.lists(
+            st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12),
+            min_size=1,
+            max_size=5,
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cells_round_trip_without_misalignment(self, columns, data):
+        rows = data.draw(
+            st.lists(
+                st.lists(_cell, min_size=len(columns), max_size=len(columns)),
+                min_size=0,
+                max_size=6,
+            )
+        )
+        text = format_table(columns, rows)
+        lines = text.split("\n")
+        assert len(lines) == 2 + len(rows)
+
+        # Every line is padded to exactly the same width: nothing overflows
+        # its column and nothing shifts the columns to its right.
+        assert len({len(line) for line in lines}) == 1
+
+        # The separator's dash runs define the column spans; slicing any data
+        # line by those spans must recover the formatted cell values exactly.
+        separator = lines[1]
+        spans = []
+        start = 0
+        for width in (len(group) for group in separator.split("  ")):
+            spans.append((start, start + width))
+            start += width + 2
+        assert len(spans) == len(columns)
+        for line, row in zip(lines[2:], rows):
+            for (begin, end), value in zip(spans, row):
+                assert line[begin:end].strip() == self._fmt(value)
