@@ -32,7 +32,7 @@ from ..netsim.engine import Simulator
 from ..netsim.node import Host
 from ..netsim.packet import IP_HEADER_BYTES, TCP_HEADER_BYTES, UDP_HEADER_BYTES, Packet
 from ..transport.tcp import CMTCPSender, RenoTCPSender, TCPListener
-from ..transport.udp.feedback import AckReflector, AppFeedbackTracker
+from ..transport.udp.feedback import AppFeedbackTracker
 from ..transport.udp.socket import UDPSocket
 from ..transport.udp.udpcc import CMUDPSocket
 
@@ -141,6 +141,11 @@ class UDPApiTestApp:
             self._fill_buffered_pipeline()
         else:
             self._top_up_requests()
+
+    @property
+    def packets_sent(self) -> int:
+        """Data packets handed to the socket so far."""
+        return self._seq
 
     @property
     def done(self) -> bool:

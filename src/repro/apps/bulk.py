@@ -67,21 +67,27 @@ class BulkTransferApp:
         self.sender = sender_cls(
             sender_host, receiver_host.addr, port, receive_window=receive_window
         )
+        # Per-transfer bookkeeping filled in by begin().
+        self._baseline: Dict[str, float] = {}
+        self._baseline_total = 0.0
+        self._start = 0.0
+        self._nbuffers = 0
 
-    def run(self, sim: Simulator, nbuffers: int, timeout: float = 3600.0) -> BulkResult:
-        """Execute the transfer and return its measurements.
+    def begin(self, sim: Simulator, nbuffers: int) -> None:
+        """Queue the whole transfer without running the simulator.
 
-        The simulator is run until the transfer completes or ``timeout``
-        simulated seconds elapse.
+        Records the CPU-ledger baseline and writes the ``nbuffers`` buffers
+        into the sender; :meth:`collect` computes the measurements once the
+        caller has driven the simulator (the scenario runner owns the clock,
+        so the write-then-run split lives here instead of :meth:`run`).
         """
         if nbuffers <= 0:
             raise ValueError("nbuffers must be positive")
         costs = self.sender_host.costs
-        baseline = costs.ledger.snapshot() if costs is not None else {}
-        baseline_total = costs.total_us if costs is not None else 0.0
-
-        start = sim.now
-        total = nbuffers * self.buffer_size
+        self._baseline = costs.ledger.snapshot() if costs is not None else {}
+        self._baseline_total = costs.total_us if costs is not None else 0.0
+        self._start = sim.now
+        self._nbuffers = nbuffers
         # The application writes one buffer at a time; each write is a system
         # call plus a copy into the kernel (ttcp's inner loop).
         for _ in range(nbuffers):
@@ -89,23 +95,25 @@ class BulkTransferApp:
                 costs.syscall("send_call", category="app")
                 costs.charge_copy(self.buffer_size, category="app")
             self.sender.send(self.buffer_size)
-        sim.run(until=start + timeout)
 
+    def collect(self, sim: Simulator) -> BulkResult:
+        """Measurements for a transfer started with :meth:`begin`."""
+        costs = self.sender_host.costs
         completed = self.sender.done
         end = self.sender.complete_time if completed else sim.now
-        duration = max(end - start, 1e-9)
-        cpu_total = (costs.total_us - baseline_total) if costs is not None else 0.0
+        duration = max(end - self._start, 1e-9)
+        cpu_total = (costs.total_us - self._baseline_total) if costs is not None else 0.0
         by_category: Dict[str, float] = {}
         if costs is not None:
             for category, value in costs.ledger.snapshot().items():
-                delta = value - baseline.get(category, 0.0)
+                delta = value - self._baseline.get(category, 0.0)
                 if delta > 0:
                     by_category[category] = delta
         return BulkResult(
             variant=self.variant,
-            nbuffers=nbuffers,
+            nbuffers=self._nbuffers,
             buffer_size=self.buffer_size,
-            total_bytes=total,
+            total_bytes=self._nbuffers * self.buffer_size,
             duration=duration,
             throughput=self.sender.bytes_acked / duration,
             cpu_utilization=min(1.0, (cpu_total / 1e6) / duration),
@@ -114,6 +122,16 @@ class BulkTransferApp:
             timeouts=self.sender.timeouts,
             completed=completed,
         )
+
+    def run(self, sim: Simulator, nbuffers: int, timeout: float = 3600.0) -> BulkResult:
+        """Execute the transfer and return its measurements.
+
+        The simulator is run until the transfer completes or ``timeout``
+        simulated seconds elapse.
+        """
+        self.begin(sim, nbuffers)
+        sim.run(until=self._start + timeout)
+        return self.collect(sim)
 
     def close(self) -> None:
         """Release both endpoints."""

@@ -119,12 +119,25 @@ class LibCM:
         return self.cm.cm_open(src, dst, sport, dport, protocol, channel=self._channel)
 
     def cm_close(self, flow_id: int) -> None:
-        """Close the flow and forget its callbacks."""
+        """Close the flow and forget its callbacks.
+
+        Undelivered send grants are returned to the kernel with
+        ``cm_notify(flow_id, 0)`` *before* the flow is closed — the same
+        decline path :meth:`_drain` uses for unregistered callbacks —
+        so the macroflow window they reserve is handed to sibling flows
+        instead of being silently dropped along with the queue entry.
+        """
         self._charge_syscall("send_call")
         self._send_callbacks.pop(flow_id, None)
         self._update_callbacks.pop(flow_id, None)
-        self._sendable.pop(flow_id, None)
         self._pending_status.pop(flow_id, None)
+        grants = self._sendable.pop(flow_id, 0)
+        while grants:
+            for _ in range(grants):
+                self.cm.cm_notify(flow_id, 0)
+            # Returning window can re-grant this same flow from requests it
+            # still has queued; keep returning until the kernel stops.
+            grants = self._sendable.pop(flow_id, 0)
         self.cm.cm_close(flow_id)
 
     def cm_mtu(self, flow_id: int) -> int:

@@ -21,7 +21,7 @@ from ..core import CongestionManager, RateAimdController, WeightedRoundRobinSche
 from ..transport.tcp import CMTCPSender, TCPListener
 from .base import ExperimentResult
 from .parallel import TrialOutcome, TrialSpec, run_trials
-from .topology import dummynet_pair, wan_pair
+from .topology import build_testbed, dummynet_pair_spec, wan_pair_spec
 
 __all__ = [
     "run_scheduler_ablation",
@@ -48,7 +48,7 @@ def run_scheduler_ablation(transfer_bytes: int = 8_000_000, weight: int = 3) -> 
         ("round-robin", None, False),
         (f"weighted {weight}:1", WeightedRoundRobinScheduler, True),
     ):
-        testbed = dummynet_pair(loss_rate=0.0, seed=5)
+        testbed = build_testbed(dummynet_pair_spec(loss_rate=0.0), seed=5)
         cm = (
             CongestionManager(testbed.sender, scheduler_factory=scheduler_factory)
             if scheduler_factory
@@ -92,7 +92,7 @@ def run_controller_ablation(transfer_bytes: int = 1_000_000, loss_rate: float = 
         ("aimd-window (default)", None),
         ("aimd-rate", lambda mtu: RateAimdController(mtu)),
     ):
-        testbed = dummynet_pair(loss_rate=loss_rate, seed=9)
+        testbed = build_testbed(dummynet_pair_spec(loss_rate=loss_rate), seed=9)
         if factory is None:
             CongestionManager(testbed.sender)
         else:
@@ -119,7 +119,7 @@ def run_sharing_ablation(transfer_bytes: int = 96 * 1024) -> ExperimentResult:
         columns=["configuration", "first_transfer_ms", "second_transfer_ms"],
     )
     for label, split_second in (("shared macroflow", False), ("cm_split (no sharing)", True)):
-        testbed = wan_pair(seed=21)
+        testbed = build_testbed(wan_pair_spec(), seed=21)
         cm = CongestionManager(testbed.sender)
         listener = TCPListener(testbed.receiver, 5001)
         first = CMTCPSender(testbed.sender, testbed.receiver.addr, 5001, receive_window=256 * 1024)

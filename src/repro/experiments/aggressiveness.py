@@ -28,14 +28,12 @@ from typing import Dict, List, Optional, Sequence
 
 from ..analysis import jain_fairness
 from ..analysis.stats import summarize
-from ..core import CongestionManager
-from ..hostmodel import HostCosts
-from ..netsim import Simulator, build_dumbbell
+from ..scenario import DumbbellSpec, ScenarioSpec, build
 from ..transport.tcp import CMTCPSender, RenoTCPSender, TCPListener
 from .base import ExperimentResult
 from .parallel import TrialOutcome, TrialSpec, run_trials
 
-__all__ = ["run", "trials", "run_trial", "reduce", "run_scenario"]
+__all__ = ["run", "trials", "run_trial", "reduce", "run_scenario", "dumbbell_spec"]
 
 DEFAULT_SEEDS = (17,)
 
@@ -44,25 +42,37 @@ BOTTLENECK_DELAY = 0.02
 RECEIVE_WINDOW = 256 * 1024
 
 
+def dumbbell_spec(mode: str) -> ScenarioSpec:
+    """The two-pair shared-bottleneck topology as a declarative spec.
+
+    Sender 0 hosts the ensemble (with a CM in ``cm`` mode), sender 1 the
+    single reference flow; the flows themselves are wired by
+    :func:`run_scenario`, which needs per-connection handles the app layer
+    does not expose.
+    """
+    return ScenarioSpec(
+        name=f"aggressiveness_{mode}",
+        dumbbell=DumbbellSpec(
+            n_pairs=2,
+            bottleneck_bps=BOTTLENECK_BPS,
+            bottleneck_delay=BOTTLENECK_DELAY,
+            queue_limit=40,
+            with_costs=True,
+            cm_senders=(0,) if mode == "cm" else (),
+        ),
+    )
+
+
 def run_scenario(mode: str, n_ensemble: int, duration: float, seed: int = 17) -> dict:
     """Run one scenario and return byte counts for the reference and ensemble flows."""
     if mode not in ("cm", "independent"):
         raise ValueError(f"unknown ensemble mode {mode!r}")
-    sim = Simulator()
-    bell = build_dumbbell(
-        sim,
-        n_pairs=2,
-        bottleneck_bps=BOTTLENECK_BPS,
-        bottleneck_delay=BOTTLENECK_DELAY,
-        queue_limit=40,
-        host_costs_factory=HostCosts,
-        seed=seed,
-    )
-    ensemble_host, reference_host = bell.senders
-    ensemble_client, reference_client = bell.receivers
-
-    if mode == "cm":
-        CongestionManager(ensemble_host)
+    scenario = build(dumbbell_spec(mode), seed=seed)
+    sim = scenario.sim
+    ensemble_host = scenario.host("sender0")
+    reference_host = scenario.host("sender1")
+    ensemble_client = scenario.host("receiver0")
+    reference_client = scenario.host("receiver1")
 
     # The reference flow: one ordinary TCP connection from the other sender.
     reference_listener = TCPListener(reference_client, 80)

@@ -17,7 +17,7 @@ from ..core import CongestionManager
 from ..transport.tcp import CMTCPSender, RenoTCPSender, TCPListener
 from .base import ExperimentResult
 from .parallel import TrialOutcome, TrialSpec, run_trials
-from .topology import dummynet_pair
+from .topology import build_testbed, dummynet_pair_spec
 
 __all__ = ["run", "trials", "run_trial", "reduce", "DEFAULT_LOSS_RATES", "DEFAULT_SEEDS"]
 
@@ -31,7 +31,7 @@ RECEIVE_WINDOW = 32 * 1024
 
 
 def _one_transfer(variant: str, loss_rate: float, transfer_bytes: int, seed: int) -> float:
-    testbed = dummynet_pair(loss_rate=loss_rate, seed=seed)
+    testbed = build_testbed(dummynet_pair_spec(loss_rate=loss_rate), seed=seed)
     listener = TCPListener(testbed.receiver, 5001)
     if variant == "cm":
         CongestionManager(testbed.sender)
@@ -41,9 +41,17 @@ def _one_transfer(variant: str, loss_rate: float, transfer_bytes: int, seed: int
     sender.send(transfer_bytes)
     testbed.sim.run(until=900.0)
     del listener
-    if not sender.done:
+    elapsed = (
+        (sender.complete_time - sender.connect_time)
+        if sender.done and sender.complete_time is not None and sender.connect_time is not None
+        else 0.0
+    )
+    if elapsed <= 0.0:
+        # Degenerate short transfer (or incomplete run): a zero-or-negative
+        # wall-clock window would crash the whole trial shard, so fall back
+        # to the sender's own rate estimate instead of dividing by it.
         return sender.throughput()
-    return transfer_bytes / (sender.complete_time - sender.connect_time)
+    return transfer_bytes / elapsed
 
 
 def run_trial(params: dict) -> float:

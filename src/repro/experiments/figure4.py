@@ -19,7 +19,7 @@ from ..apps.bulk import BulkResult, BulkTransferApp
 from ..core import CongestionManager
 from .base import ExperimentResult
 from .parallel import TrialOutcome, TrialSpec, run_trials
-from .topology import lan_pair
+from .topology import build_testbed, lan_pair_spec
 
 __all__ = ["run", "trials", "run_trial", "reduce", "bulk_sweep", "DEFAULT_BUFFER_COUNTS"]
 
@@ -34,7 +34,7 @@ RECEIVE_WINDOW = 64 * 1024
 
 def run_trial(params: dict) -> dict:
     """One ttcp transfer for (variant, nbuffers); returns the BulkResult as a dict."""
-    testbed = lan_pair(seed=params["seed"])
+    testbed = build_testbed(lan_pair_spec(), seed=params["seed"])
     if params["variant"] == "cm":
         CongestionManager(testbed.sender)
     app = BulkTransferApp(

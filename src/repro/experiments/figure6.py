@@ -22,7 +22,7 @@ from ..core import CongestionManager
 from ..transport.udp.feedback import AckReflector
 from .base import ExperimentResult
 from .parallel import TrialOutcome, TrialSpec, run_trials
-from .topology import lan_pair
+from .topology import build_testbed, lan_pair_spec
 
 __all__ = ["run", "trials", "run_trial", "reduce", "run_variant", "DEFAULT_PACKET_SIZES", "ALL_VARIANTS"]
 
@@ -33,7 +33,7 @@ LINK_RATE = 100e6
 
 def run_variant(variant: str, packet_size: int, npackets: int = 2000, seed: int = 0) -> ApiOverheadResult:
     """Run one (variant, packet size) cell of the Figure 6 matrix."""
-    testbed = lan_pair(seed=seed)
+    testbed = build_testbed(lan_pair_spec(), seed=seed)
     CongestionManager(testbed.sender)
     if variant in UDP_VARIANTS:
         reflector = AckReflector(testbed.receiver, port=7001)

@@ -20,7 +20,7 @@ from ..apps.webserver import FileServer, WebClient
 from ..core import CongestionManager
 from .base import ExperimentResult
 from .parallel import TrialOutcome, TrialSpec, run_trials
-from .topology import wan_pair
+from .topology import build_testbed, wan_pair_spec
 
 __all__ = ["run", "trials", "run_trial", "reduce"]
 
@@ -31,7 +31,7 @@ DEFAULT_SEEDS = (3,)
 
 
 def _run_variant(variant: str, file_size: int, n_requests: int, spacing: float, seed: int):
-    testbed = wan_pair(seed=seed)
+    testbed = build_testbed(wan_pair_spec(), seed=seed)
     if variant == "cm":
         CongestionManager(testbed.sender)
     server = FileServer(testbed.sender, port=80, variant=variant)

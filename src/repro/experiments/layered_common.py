@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..apps.layered import LayeredStreamingServer
 from ..core import CongestionManager
 from ..transport.udp.feedback import AckReflector
-from .topology import wan_pair
+from .topology import build_testbed, wan_pair_spec
 
 __all__ = ["LayeredRun", "run_layered", "run_layered_trial", "DEFAULT_BANDWIDTH_SCHEDULE"]
 
@@ -56,7 +56,7 @@ def run_layered(
     rate_bin: float = 0.5,
 ) -> LayeredRun:
     """Run the layered streaming server for ``duration`` simulated seconds."""
-    testbed = wan_pair(rate_bps=bandwidth_schedule[0][1], seed=seed)
+    testbed = build_testbed(wan_pair_spec(rate_bps=bandwidth_schedule[0][1]), seed=seed)
     CongestionManager(testbed.sender)
 
     reflector = AckReflector(

@@ -25,7 +25,7 @@ from ..core.manager import CongestionManager
 from ..hostmodel.ledger import HostCosts
 from ..netsim.engine import Simulator, Timer
 from ..netsim.node import Host
-from .legacy import LegacySimulator, LegacyTimer, unbatched_maybe_grant
+from .legacy import LegacySimulator, LegacyTimer, legacy_dummynet_pair, unbatched_maybe_grant
 
 __all__ = ["BenchResult", "run_benchmarks", "write_report"]
 
@@ -285,6 +285,47 @@ def bench_figure3_scenario(transfer_bytes: int, repeats: int) -> BenchResult:
 
 
 # ====================================================================== #
+# Scenario compile: declarative spec -> wired simulation                 #
+# ====================================================================== #
+def bench_scenario_build(builds: int, repeats: int) -> BenchResult:
+    """Spec-compile + wiring cost versus the seed's hand-wired construction.
+
+    The optimised side is what every experiment now does per trial
+    (``build_testbed(dummynet_pair_spec(...))`` — validation, registry
+    checks, host/channel wiring through the scenario compiler); the
+    baseline is the pre-scenario hand-wired ``dummynet_pair`` preserved in
+    :mod:`repro.perf.legacy`.  The ratio is the price of the declarative
+    layer on the construction path, which trial caching and the actual
+    simulation work are expected to dwarf.
+    """
+    from ..experiments.topology import build_testbed, dummynet_pair_spec
+
+    def spec_side() -> float:
+        start = time.perf_counter()
+        for index in range(builds):
+            build_testbed(dummynet_pair_spec(loss_rate=0.01), seed=index)
+        return time.perf_counter() - start
+
+    def legacy_side() -> float:
+        start = time.perf_counter()
+        for index in range(builds):
+            legacy_dummynet_pair(loss_rate=0.01, seed=index)
+        return time.perf_counter() - start
+
+    wall, base = _best_of_pair(spec_side, legacy_side, repeats)
+    return BenchResult(
+        name="scenario_build",
+        ops=builds,
+        wall_s=wall,
+        baseline_wall_s=base,
+        notes=(
+            "dummynet_pair testbed: declarative ScenarioSpec compile (validate + registry + "
+            "wiring) vs the seed's hand-wired construction; ops = testbeds built"
+        ),
+    )
+
+
+# ====================================================================== #
 # Parallel experiment runner: trial sharding across a process pool       #
 # ====================================================================== #
 def bench_experiments_parallel(
@@ -323,21 +364,23 @@ def bench_experiments_parallel(
 # ====================================================================== #
 #: Workload sizes: (event_churn_n, timer_restart_n, grant_flows,
 #: grant_requests_per_flow, figure3_bytes, parallel_seeds,
-#: parallel_transfer_bytes, repeats)
-_FULL = (200_000, 200_000, 64, 256, 500_000, 8, 200_000, 5)
-_QUICK = (30_000, 30_000, 32, 64, 100_000, 4, 60_000, 3)
+#: parallel_transfer_bytes, scenario_builds, repeats)
+_FULL = (200_000, 200_000, 64, 256, 500_000, 8, 200_000, 2_000, 5)
+_QUICK = (30_000, 30_000, 32, 64, 100_000, 4, 60_000, 400, 3)
 
 
 def run_benchmarks(quick: bool = False, label: str = "BENCH_PR1") -> dict:
     """Run every benchmark and return the JSON-ready report dict."""
     sizes = _QUICK if quick else _FULL
-    churn_n, timer_n, grant_flows, grant_reqs, fig3_bytes, par_seeds, par_bytes, repeats = sizes
+    (churn_n, timer_n, grant_flows, grant_reqs, fig3_bytes, par_seeds, par_bytes,
+     scenario_builds, repeats) = sizes
     pool_jobs = max(2, min(4, os.cpu_count() or 1))
     results = [
         bench_event_churn(churn_n, repeats),
         bench_timer_restart(timer_n, repeats),
         bench_grant_dispatch(grant_flows, grant_reqs, repeats),
         bench_figure3_scenario(fig3_bytes, repeats),
+        bench_scenario_build(scenario_builds, repeats),
         bench_experiments_parallel(par_seeds, par_bytes, pool_jobs, min(repeats, 2)),
     ]
     return {

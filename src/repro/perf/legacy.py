@@ -21,6 +21,7 @@ __all__ = [
     "LegacySimulator",
     "LegacyTimer",
     "unbatched_maybe_grant",
+    "legacy_dummynet_pair",
 ]
 
 
@@ -180,3 +181,32 @@ def unbatched_maybe_grant(manager, macroflow) -> None:
         flow.granted_unnotified += 1
         flow.stats.grants += 1
         flow.channel.post_send_grant(flow)
+
+
+def legacy_dummynet_pair(loss_rate: float, seed: int = 0):
+    """The seed's hand-wired Figure-3 testbed construction (pre-scenario API).
+
+    A verbatim copy of the original ``experiments.topology._pair`` wiring
+    with the ``dummynet_pair`` parameters, kept as the baseline for the
+    ``scenario_build`` benchmark: it measures what the declarative
+    spec-compile + validation layer costs over direct object construction.
+    """
+    from ..hostmodel import HostCosts
+    from ..netsim import Channel, Host, Simulator
+
+    sim = Simulator()
+    sender = Host(sim, "sender", "10.1.0.1", costs=HostCosts())
+    receiver = Host(sim, "receiver", "10.2.0.1", costs=HostCosts())
+    channel = Channel(
+        sim,
+        sender,
+        receiver,
+        rate_bps=10e6,
+        one_way_delay=0.030,
+        queue_limit=50,
+        loss_rate=loss_rate,
+        reverse_loss_rate=0.0,
+        ecn_threshold=None,
+        seed=seed,
+    )
+    return sim, sender, receiver, channel

@@ -1,0 +1,8 @@
+"""``python -m repro.scenario`` — run/list/dump/validate declarative scenarios."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

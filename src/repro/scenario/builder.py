@@ -1,0 +1,159 @@
+"""Compile a :class:`~repro.scenario.spec.ScenarioSpec` into live objects.
+
+:func:`build` is the single place in the repository where a declarative
+scenario becomes a wired simulation: it validates the spec, creates the
+:class:`~repro.netsim.engine.Simulator`, the hosts (with their CPU cost
+ledgers), the channels or dumbbell, attaches Congestion Managers, and
+instantiates every application through the
+:mod:`~repro.scenario.applications` registry.
+
+Construction order is part of the determinism contract (event sequence
+numbers break heap ties, link RNGs are seeded in creation order):
+
+1. hosts in spec order (explicit list, or dumbbell senders-then-receivers);
+2. channels in spec order, link RNG seeded with ``seed + link.seed_offset``
+   (forward) and ``+ 1`` (reverse) — exactly how the hand-wired testbeds of
+   the seed repository did it;
+3. Congestion Managers for ``cm``-flagged hosts, in host order;
+4. applications in spec order.
+
+With the same spec and seed, :func:`build` therefore produces a simulation
+that is event-for-event identical to the legacy hand-wired construction,
+which is what keeps the experiment artifacts byte-identical per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.congestion import AimdWindowController, CongestionController, RateAimdController
+from ..core.manager import CongestionManager
+from ..core.scheduler import RoundRobinScheduler, Scheduler, WeightedRoundRobinScheduler
+from ..hostmodel import HostCosts
+from ..netsim import Channel, Dumbbell, Host, Simulator, build_dumbbell
+from .applications import Application, get_application
+from .spec import HostSpec, ScenarioSpec, SpecError, default_addr
+
+__all__ = ["Scenario", "build"]
+
+_CONTROLLER_FACTORIES: Dict[str, Callable[[int], CongestionController]] = {
+    "aimd_window": lambda mtu: AimdWindowController(mtu),
+    "aimd_rate": lambda mtu: RateAimdController(mtu),
+}
+
+_SCHEDULER_FACTORIES: Dict[str, Callable[[], Scheduler]] = {
+    "round_robin": RoundRobinScheduler,
+    "weighted": WeightedRoundRobinScheduler,
+}
+
+
+@dataclass
+class Scenario:
+    """A compiled scenario: live simulator, hosts, channels and apps."""
+
+    spec: ScenarioSpec
+    seed: int
+    sim: Simulator
+    hosts: Dict[str, Host]
+    channels: Dict[Tuple[str, str], Channel] = field(default_factory=dict)
+    dumbbell: Optional[Dumbbell] = None
+    apps: List[Application] = field(default_factory=list)
+
+    def host(self, name: str) -> Host:
+        """Look up a host by spec name."""
+        return self.hosts[name]
+
+    def channel(self, a: str, b: str) -> Channel:
+        """Look up the channel between two hosts (order as in the spec)."""
+        return self.channels[(a, b)]
+
+
+def _attach_cm(host: Host, host_spec: HostSpec) -> CongestionManager:
+    return CongestionManager(
+        host,
+        controller_factory=_CONTROLLER_FACTORIES[host_spec.cm_controller],
+        scheduler_factory=_SCHEDULER_FACTORIES[host_spec.cm_scheduler],
+    )
+
+
+def build(spec: ScenarioSpec, seed: Optional[int] = None) -> Scenario:
+    """Validate ``spec`` and wire the simulation it describes.
+
+    ``seed`` overrides ``spec.seed``; it feeds every link's loss RNG (offset
+    per link) so a multi-seed sweep re-uses one spec.
+    """
+    spec.validate()
+    run_seed = spec.seed if seed is None else int(seed)
+
+    sim = Simulator()
+    hosts: Dict[str, Host] = {}
+    scenario = Scenario(spec=spec, seed=run_seed, sim=sim, hosts=hosts)
+
+    if spec.dumbbell is not None:
+        dumbbell_spec = spec.dumbbell
+        dumbbell = build_dumbbell(
+            sim,
+            n_pairs=dumbbell_spec.n_pairs,
+            bottleneck_bps=dumbbell_spec.bottleneck_bps,
+            bottleneck_delay=dumbbell_spec.bottleneck_delay,
+            access_bps=dumbbell_spec.access_bps,
+            access_delay=dumbbell_spec.access_delay,
+            queue_limit=dumbbell_spec.queue_limit,
+            loss_rate=dumbbell_spec.loss_rate,
+            ecn_threshold=dumbbell_spec.ecn_threshold,
+            host_costs_factory=HostCosts if dumbbell_spec.with_costs else None,
+            seed=run_seed,
+        )
+        scenario.dumbbell = dumbbell
+        for index, host in enumerate(dumbbell.senders):
+            hosts[f"sender{index}"] = host
+        for index, host in enumerate(dumbbell.receivers):
+            hosts[f"receiver{index}"] = host
+        for index in dumbbell_spec.cm_senders:
+            CongestionManager(dumbbell.senders[index])
+    else:
+        for index, host_spec in enumerate(spec.hosts):
+            addr = host_spec.addr or default_addr(index)
+            hosts[host_spec.name] = Host(
+                sim, host_spec.name, addr,
+                costs=HostCosts() if host_spec.costs else None,
+            )
+        for index, link in enumerate(spec.links):
+            # Explicit seed_offset wins; otherwise stagger by position (a
+            # channel consumes two consecutive seeds, forward + reverse) so
+            # co-existing links draw independent loss streams by default.
+            offset = link.seed_offset if link.seed_offset else 2 * index
+            scenario.channels[(link.a, link.b)] = Channel(
+                sim,
+                hosts[link.a],
+                hosts[link.b],
+                rate_bps=link.rate_bps,
+                one_way_delay=link.delay,
+                queue_limit=link.queue_limit,
+                loss_rate=link.loss_rate,
+                reverse_loss_rate=link.reverse_loss_rate,
+                ecn_threshold=link.ecn_threshold,
+                seed=run_seed + offset,
+            )
+        for host_spec in spec.hosts:
+            if host_spec.cm:
+                _attach_cm(hosts[host_spec.name], host_spec)
+
+    for index, app_spec in enumerate(spec.apps):
+        # spec.validate() above already walked every app's schema and cached
+        # the defaults-applied params; reuse them instead of re-validating
+        # on the per-trial construction path.
+        params = app_spec.normalized_params()
+        app_cls = get_application(app_spec.app)
+        peer = hosts[app_spec.peer] if app_spec.peer else None
+        try:
+            app = app_cls(hosts[app_spec.host], peer, app_spec, params)
+        except SpecError:
+            raise
+        except (RuntimeError, ValueError) as exc:
+            raise SpecError(f"apps[{index}]", f"building {app_spec.app!r} failed: {exc}") from exc
+        if not app_spec.label:
+            app.label = f"{app_spec.app}[{index}]"
+        scenario.apps.append(app)
+    return scenario

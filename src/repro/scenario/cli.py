@@ -1,0 +1,197 @@
+"""Command-line front end: ``python -m repro.scenario``.
+
+Subcommands::
+
+    run <preset-or-spec.json>   execute a scenario (optionally over many seeds)
+    list                        bundled presets and registered applications
+    dump <preset>               print a preset spec as editable JSON
+    validate <result.json>      check a result file against the golden schema
+
+``run`` accepts either a bundled preset name or a path to a spec JSON file
+(as produced by ``dump``), executes it for ``--seed`` (or seeds ``1..N``
+with ``--seeds N``), prints a per-app summary and optionally writes the
+deterministic per-seed result JSON files to ``--json-dir``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Optional, Sequence
+
+from .presets import get_preset, preset_names
+from .runner import ScenarioResult, run, validate_result_payload
+from .spec import ScenarioSpec, SpecError
+
+__all__ = ["main"]
+
+
+def _load_spec(ref: str) -> ScenarioSpec:
+    """Resolve a preset name or a spec JSON file path into a validated spec."""
+    if ref.endswith(".json") or os.path.sep in ref or os.path.exists(ref):
+        try:
+            with open(ref, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as exc:
+            raise SpecError("", f"cannot read spec file {ref!r}: {exc}") from exc
+        except ValueError as exc:
+            raise SpecError("", f"spec file {ref!r} is not valid JSON: {exc}") from exc
+        return ScenarioSpec.from_dict(data)
+    try:
+        return get_preset(ref)
+    except KeyError as exc:
+        raise SpecError("", str(exc.args[0])) from exc
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    if isinstance(value, list):
+        return f"[{len(value)} values]"
+    if isinstance(value, dict):
+        return "{" + ", ".join(f"{k}={_format_value(v)}" for k, v in sorted(value.items())) + "}"
+    return str(value)
+
+
+def _print_result(result: ScenarioResult) -> None:
+    print(f"== scenario {result.name} (seed {result.seed}, {result.duration_s:.1f} s simulated) ==")
+    for entry in result.apps:
+        metrics = ", ".join(
+            f"{key}={_format_value(value)}" for key, value in sorted(entry["metrics"].items())
+        )
+        print(f"  {entry['label']:<24} on {entry['host']:<12} {metrics}")
+    for entry in result.links:
+        print(
+            f"  link {entry['link']:<22} delivered={entry['delivered_packets']} "
+            f"drop_overflow={entry['dropped_overflow']} drop_random={entry['dropped_random']} "
+            f"ecn={entry['ecn_marked']}"
+        )
+    for entry in result.hosts:
+        if "cpu_total_us" in entry:
+            print(
+                f"  host {entry['host']:<22} cpu={entry['cpu_total_us']:.0f}us "
+                f"({100.0 * entry['cpu_utilization']:.2f}%)"
+            )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = _load_spec(args.scenario)
+        spec.validate()
+    except SpecError as exc:
+        print(f"invalid scenario: {exc}", file=sys.stderr)
+        return 2
+    seeds = list(range(1, args.seeds + 1)) if args.seeds is not None else [
+        args.seed if args.seed is not None else spec.seed
+    ]
+    if args.json_dir:
+        os.makedirs(args.json_dir, exist_ok=True)
+    for seed in seeds:
+        try:
+            result = run(spec, seed=seed)
+        except SpecError as exc:
+            # Some constraints (e.g. an app that needs a CM on its host) are
+            # only checkable while wiring the scenario; report them exactly
+            # like eager validation failures.
+            print(f"invalid scenario: {exc}", file=sys.stderr)
+            return 2
+        if not args.quiet:
+            _print_result(result)
+        if args.json_dir:
+            path = os.path.join(args.json_dir, f"{result.name}.seed{seed}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(result.to_json())
+            print(f"(wrote {path})", file=sys.stderr)
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from .applications import describe_applications
+
+    print("bundled presets:")
+    for name in preset_names():
+        spec = get_preset(name)
+        print(f"  {name:<26} {spec.description.split(';')[0].strip()}")
+    print("\nregistered applications:")
+    for name, description, params in describe_applications():
+        print(f"  {name:<26} {description}")
+        for line in params:
+            print(f"      {line}")
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    try:
+        spec = _load_spec(args.scenario)
+        spec.validate()
+    except SpecError as exc:
+        print(f"invalid scenario: {exc}", file=sys.stderr)
+        return 2
+    text = json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n"
+    if args.output and args.output != "-":
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"(wrote {args.output})", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        with open(args.result, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load {args.result!r}: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_result_payload(payload)
+    if problems:
+        for problem in problems:
+            print(f"schema violation: {problem}", file=sys.stderr)
+        return 1
+    print(f"{args.result}: ok ({len(payload.get('apps', []))} app entries)")
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenario",
+        description="Compose and run declarative CM scenarios (topology + apps from one spec)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="execute a bundled preset or a spec JSON file")
+    run_parser.add_argument("scenario", help="preset name or path to a spec .json file")
+    run_parser.add_argument("--seed", type=int, default=None, metavar="N",
+                            help="run seed (default: the spec's own seed)")
+    run_parser.add_argument("--seeds", type=int, default=None, metavar="N",
+                            help="run seeds 1..N (overrides --seed)")
+    run_parser.add_argument("--json-dir", default=None, metavar="DIR",
+                            help="write <name>.seed<k>.json result files to DIR")
+    run_parser.add_argument("--quiet", action="store_true", help="suppress the text summary")
+    run_parser.set_defaults(func=_cmd_run)
+
+    list_parser = sub.add_parser("list", help="bundled presets and registered applications")
+    list_parser.set_defaults(func=_cmd_list)
+
+    dump_parser = sub.add_parser("dump", help="print a scenario spec as editable JSON")
+    dump_parser.add_argument("scenario", help="preset name or path to a spec .json file")
+    dump_parser.add_argument("--output", default=None, metavar="FILE",
+                             help="write to FILE instead of stdout ('-' = stdout)")
+    dump_parser.set_defaults(func=_cmd_dump)
+
+    validate_parser = sub.add_parser("validate", help="check a result JSON against the schema")
+    validate_parser.add_argument("result", help="path to a result .json file")
+    validate_parser.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro.scenario``."""
+    parser = _build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if getattr(args, "seeds", None) is not None and args.seeds < 1:
+        parser.error("--seeds must be >= 1")
+    return args.func(args)

@@ -1,0 +1,184 @@
+"""Bundled scenario presets that go beyond the paper's testbeds.
+
+Each preset is a plain :class:`~repro.scenario.spec.ScenarioSpec` factory —
+the CLI runs them by name (``python -m repro.scenario run web_vat_mix``) and
+dumps them as editable JSON (``... dump web_vat_mix``).  They double as
+living documentation of what the declarative API can compose that the
+hand-wired testbeds never could:
+
+``web_vat_mix``
+    A web server and an interactive vat audio stream sharing one macroflow
+    over a lossy wide-area path — the paper's core pitch (heterogeneous
+    applications sharing congestion state) as a single runnable spec.
+``bulk_macroflow_sharing``
+    Four staggered TCP/CM transfers to one destination: each later flow
+    joins the macroflow and inherits the window the earlier ones built.
+``ecn_vs_loss``
+    Two independent sender/receiver pairs in one simulation: one behind an
+    ECN-marking bottleneck, one behind a drop-tail lossy pipe, same
+    bandwidth — a congestion-signalling comparison the paper never ran.
+``libcm_poll_streaming`` / ``libcm_select_streaming``
+    The layered media server with the libcm event loop in ``poll`` versus
+    ``select`` mode — the API-integration sweep, with the libcm syscall
+    counters in the result showing what each mode costs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .spec import AppSpec, HostSpec, LinkSpec, ScenarioSpec, StopSpec
+
+__all__ = ["PRESETS", "get_preset", "preset_names"]
+
+
+def web_vat_mix() -> ScenarioSpec:
+    """Web fetch train and vat audio sharing the server's macroflow."""
+    return ScenarioSpec(
+        name="web_vat_mix",
+        description=(
+            "Web server + interactive audio from one CM host to one client over a "
+            "lossy 4 Mbps / 70 ms path; both workloads share the macroflow."
+        ),
+        hosts=[
+            HostSpec(name="server", cm=True),
+            HostSpec(name="client"),
+        ],
+        links=[
+            LinkSpec(a="server", b="client", rate_bps=4e6, delay=0.035,
+                     queue_limit=50, loss_rate=0.005, reverse_loss_rate=0.0),
+        ],
+        apps=[
+            AppSpec(app="web_server", host="server",
+                    params={"port": 80, "variant": "cm"}),
+            AppSpec(app="ack_reflector", host="client", params={"port": 9001}),
+            AppSpec(app="vat", host="server", peer="client", params={"port": 9001}),
+            AppSpec(app="web_client", host="client", peer="server",
+                    params={"server_port": 80, "n_requests": 6, "spacing": 1.0,
+                            "size": 64 * 1024}),
+        ],
+        stop=StopSpec(until=12.0),
+        metrics=("apps", "links", "hosts"),
+        seed=42,
+    )
+
+
+def bulk_macroflow_sharing() -> ScenarioSpec:
+    """N staggered TCP/CM flows to one destination sharing a macroflow."""
+    n_flows = 4
+    apps: List[AppSpec] = []
+    for index in range(n_flows):
+        port = 5001 + index
+        apps.append(AppSpec(app="tcp_listener", host="receiver",
+                            label=f"listener{index}", params={"port": port}))
+        apps.append(AppSpec(
+            app="tcp_sender", host="sender", peer="receiver", label=f"flow{index}",
+            params={"variant": "cm", "port": port, "transfer_bytes": 1_500_000,
+                    "receive_window": 256 * 1024, "start_at": float(index)},
+        ))
+    return ScenarioSpec(
+        name="bulk_macroflow_sharing",
+        description=(
+            "Four TCP/CM transfers to one destination starting 1 s apart on a "
+            "10 Mbps / 60 ms path; late joiners skip slow start by inheriting the "
+            "shared macroflow window."
+        ),
+        hosts=[HostSpec(name="sender", cm=True), HostSpec(name="receiver")],
+        links=[LinkSpec(a="sender", b="receiver", rate_bps=10e6, delay=0.03,
+                        queue_limit=50, loss_rate=0.0)],
+        apps=apps,
+        stop=StopSpec(until=25.0, when_apps_done=True),
+        metrics=("apps", "links"),
+        seed=7,
+    )
+
+
+def ecn_vs_loss() -> ScenarioSpec:
+    """Identical transfers behind an ECN-marking vs. a lossy bottleneck."""
+    transfer = {"variant": "cm", "transfer_bytes": 3_000_000, "receive_window": 128 * 1024}
+    return ScenarioSpec(
+        name="ecn_vs_loss",
+        description=(
+            "Two independent 8 Mbps / 50 ms pairs in one simulation: one bottleneck "
+            "marks ECN at queue depth 20, the other drops 1% of packets; same "
+            "transfer on each shows marking vs. dropping as a congestion signal."
+        ),
+        hosts=[
+            HostSpec(name="ecn_sender", cm=True),
+            HostSpec(name="ecn_receiver"),
+            HostSpec(name="loss_sender", cm=True),
+            HostSpec(name="loss_receiver"),
+        ],
+        links=[
+            LinkSpec(a="ecn_sender", b="ecn_receiver", rate_bps=8e6, delay=0.025,
+                     queue_limit=50, ecn_threshold=20),
+            LinkSpec(a="loss_sender", b="loss_receiver", rate_bps=8e6, delay=0.025,
+                     queue_limit=50, loss_rate=0.01, reverse_loss_rate=0.0),
+        ],
+        apps=[
+            AppSpec(app="tcp_listener", host="ecn_receiver", label="ecn_listener",
+                    params={"port": 5001}),
+            AppSpec(app="tcp_sender", host="ecn_sender", peer="ecn_receiver",
+                    label="ecn_flow", params=dict(transfer, port=5001, ecn=True)),
+            AppSpec(app="tcp_listener", host="loss_receiver", label="loss_listener",
+                    params={"port": 5001}),
+            AppSpec(app="tcp_sender", host="loss_sender", peer="loss_receiver",
+                    label="loss_flow", params=dict(transfer, port=5001)),
+        ],
+        stop=StopSpec(until=60.0, when_apps_done=True),
+        metrics=("apps", "links"),
+        seed=13,
+    )
+
+
+def _libcm_streaming(libcm_mode: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"libcm_{libcm_mode}_streaming",
+        description=(
+            f"Layered ALF media server with the libcm event loop in {libcm_mode!r} "
+            "mode on a 16 Mbps path that steps down to 4 Mbps mid-run; the libcm "
+            "syscall counters in the result quantify the integration cost."
+        ),
+        hosts=[HostSpec(name="server", cm=True), HostSpec(name="client")],
+        links=[LinkSpec(a="server", b="client", rate_bps=16e6, delay=0.0375,
+                        queue_limit=60, rate_schedule=((6.0, 4e6), (12.0, 12e6)))],
+        apps=[
+            AppSpec(app="ack_reflector", host="client", params={"port": 9001}),
+            AppSpec(app="layered_streaming", host="server", peer="client",
+                    params={"port": 9001, "mode": "alf", "libcm_mode": libcm_mode}),
+        ],
+        stop=StopSpec(until=15.0),
+        metrics=("apps", "links", "hosts"),
+        seed=11,
+    )
+
+
+def libcm_poll_streaming() -> ScenarioSpec:
+    """Layered streaming with the application polling libcm from a timer loop."""
+    return _libcm_streaming("poll")
+
+
+def libcm_select_streaming() -> ScenarioSpec:
+    """Layered streaming with libcm in the app's select loop (the default)."""
+    return _libcm_streaming("select")
+
+
+PRESETS: Dict[str, Callable[[], ScenarioSpec]] = {
+    "web_vat_mix": web_vat_mix,
+    "bulk_macroflow_sharing": bulk_macroflow_sharing,
+    "ecn_vs_loss": ecn_vs_loss,
+    "libcm_poll_streaming": libcm_poll_streaming,
+    "libcm_select_streaming": libcm_select_streaming,
+}
+
+
+def preset_names() -> List[str]:
+    """Bundled preset names in presentation order."""
+    return list(PRESETS)
+
+
+def get_preset(name: str) -> ScenarioSpec:
+    """Build a preset spec by name; KeyError lists the valid names."""
+    if name not in PRESETS:
+        raise KeyError(f"unknown preset {name!r}; bundled presets: {', '.join(PRESETS)}")
+    return PRESETS[name]()

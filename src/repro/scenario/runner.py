@@ -1,0 +1,203 @@
+"""Execute a compiled scenario and collect its metrics.
+
+:func:`run` is the declarative counterpart of every hand-written
+``build testbed / start apps / sim.run / harvest counters`` loop in the
+experiment modules: it compiles the spec with
+:func:`~repro.scenario.builder.build`, schedules any link bandwidth steps,
+starts the applications in spec order, drives the simulator to the stop
+condition, stops the applications and returns a :class:`ScenarioResult`
+whose JSON rendering is byte-identical for identical ``(spec, seed)``
+inputs — the same determinism contract the experiment artifacts follow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .builder import Scenario, build
+from .spec import ScenarioSpec
+
+__all__ = ["ScenarioResult", "run", "run_built", "validate_result_payload"]
+
+#: Keys every serialized ScenarioResult must carry (the CI golden schema).
+RESULT_SCHEMA_KEYS = ("name", "seed", "spec_digest", "duration_s", "apps", "links", "hosts")
+
+
+@dataclass
+class ScenarioResult:
+    """Per-app / per-link / per-host measurements of one scenario run."""
+
+    name: str
+    seed: int
+    spec_digest: str
+    duration_s: float
+    apps: List[Dict[str, Any]] = field(default_factory=list)
+    links: List[Dict[str, Any]] = field(default_factory=list)
+    hosts: List[Dict[str, Any]] = field(default_factory=list)
+
+    def payload(self) -> Dict[str, Any]:
+        """The deterministic JSON-able content of the result."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "spec_digest": self.spec_digest,
+            "duration_s": self.duration_s,
+            "apps": [dict(entry) for entry in self.apps],
+            "links": [dict(entry) for entry in self.links],
+            "hosts": [dict(entry) for entry in self.hosts],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, 2-space indent, one trailing newline.
+
+        ``allow_nan=False`` makes a metric that leaks ``NaN``/``inf`` fail
+        loudly here instead of silently producing a file strict JSON
+        parsers reject.
+        """
+        return json.dumps(self.payload(), indent=2, sort_keys=True, allow_nan=False) + "\n"
+
+    def app(self, label: str) -> Dict[str, Any]:
+        """Look up one application's entry by its label."""
+        for entry in self.apps:
+            if entry["label"] == label:
+                return entry
+        raise KeyError(f"no app labelled {label!r}; have {[e['label'] for e in self.apps]}")
+
+
+def spec_digest(spec: ScenarioSpec) -> str:
+    """sha256 over the spec's canonical JSON (ties results to their spec)."""
+    canonical = json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def validate_result_payload(payload: Any) -> List[str]:
+    """Check a deserialized result against the golden schema.
+
+    Returns a list of human-readable problems (empty = valid).  Used by the
+    CI scenario smoke job and the ``python -m repro.scenario validate``
+    command.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"result must be a JSON object, got {type(payload).__name__}"]
+    for key in RESULT_SCHEMA_KEYS:
+        if key not in payload:
+            problems.append(f"missing top-level key {key!r}")
+    if not isinstance(payload.get("name"), str) or not payload.get("name"):
+        problems.append("'name' must be a non-empty string")
+    if not isinstance(payload.get("seed"), int):
+        problems.append("'seed' must be an integer")
+    digest = payload.get("spec_digest")
+    if not (isinstance(digest, str) and len(digest) == 64):
+        problems.append("'spec_digest' must be a 64-char sha256 hex string")
+    if not isinstance(payload.get("duration_s"), (int, float)):
+        problems.append("'duration_s' must be a number")
+    for group, required in (("apps", ("app", "host", "label", "metrics")),
+                            ("links", ("link",)),
+                            ("hosts", ("host",))):
+        entries = payload.get(group)
+        if not isinstance(entries, list):
+            problems.append(f"'{group}' must be a list")
+            continue
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                problems.append(f"{group}[{index}] must be an object")
+                continue
+            for key in required:
+                if key not in entry:
+                    problems.append(f"{group}[{index}] missing key {key!r}")
+    return problems
+
+
+def _link_metrics(name: str, link) -> Dict[str, Any]:
+    stats = link.stats
+    return {
+        "link": name,
+        "delivered_packets": stats.delivered_packets,
+        "dropped_overflow": stats.dropped_overflow,
+        "dropped_random": stats.dropped_random,
+        "ecn_marked": stats.ecn_marked,
+        "mean_queue_delay_s": stats.mean_queue_delay(),
+        "busy_time_s": stats.busy_time,
+    }
+
+
+def _collect(scenario: Scenario, duration: float) -> ScenarioResult:
+    spec = scenario.spec
+    result = ScenarioResult(
+        name=spec.name,
+        seed=scenario.seed,
+        spec_digest=spec_digest(spec),
+        duration_s=duration,
+    )
+    groups = set(spec.metrics)
+    if "apps" in groups:
+        for app in scenario.apps:
+            result.apps.append({
+                "app": app.spec.app,
+                "host": app.spec.host,
+                "label": app.label,
+                "metrics": app.metrics(),
+            })
+    if "links" in groups:
+        for (a, b), channel in scenario.channels.items():
+            result.links.append(_link_metrics(f"{a}->{b}", channel.forward))
+            result.links.append(_link_metrics(f"{b}->{a}", channel.reverse))
+        if scenario.dumbbell is not None:
+            result.links.append(_link_metrics("bottleneck", scenario.dumbbell.bottleneck))
+            result.links.append(_link_metrics("bottleneck-rev", scenario.dumbbell.bottleneck_reverse))
+    if "hosts" in groups:
+        for name, host in scenario.hosts.items():
+            costs = host.costs
+            entry: Dict[str, Any] = {"host": name}
+            if costs is not None:
+                entry["cpu_total_us"] = costs.total_us
+                entry["cpu_utilization"] = costs.utilization(duration) if duration > 0 else 0.0
+                entry["cpu_by_category_us"] = dict(sorted(costs.ledger.snapshot().items()))
+            result.hosts.append(entry)
+    return result
+
+
+def run_built(scenario: Scenario) -> ScenarioResult:
+    """Drive an already-compiled scenario to its stop condition."""
+    spec = scenario.spec
+    sim = scenario.sim
+    start = sim.now
+
+    for link_spec in spec.links:
+        channel = scenario.channels[(link_spec.a, link_spec.b)]
+        for when, rate_bps in link_spec.rate_schedule:
+            if when > 0.0:
+                sim.schedule(when, channel.set_rate, rate_bps)
+            else:
+                channel.set_rate(rate_bps)
+
+    for app in scenario.apps:
+        app.start()
+
+    stop = spec.stop
+    horizon = start + stop.until
+    if stop.when_apps_done:
+        while sim.now < horizon:
+            states = [app.done() for app in scenario.apps]
+            if any(state is not None for state in states) and all(
+                state in (None, True) for state in states
+            ):
+                break
+            if sim.peek() is None:
+                break
+            sim.run(until=min(horizon, sim.now + stop.check_interval))
+    else:
+        sim.run(until=horizon)
+
+    for app in scenario.apps:
+        app.stop()
+    return _collect(scenario, duration=sim.now - start)
+
+
+def run(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResult:
+    """Compile and execute ``spec``; deterministic per ``(spec, seed)``."""
+    return run_built(build(spec, seed=seed))

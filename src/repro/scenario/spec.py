@@ -1,0 +1,464 @@
+"""The declarative scenario specification tree.
+
+A :class:`ScenarioSpec` is a complete, validated, JSON-serialisable
+description of one simulation: the hosts, the links between them (or a
+dumbbell preset), which hosts run a Congestion Manager, the application
+instances with their typed parameters, the stop condition and the metrics to
+collect.  Every consumer of the construction layer — the experiment
+harnesses, the ``python -m repro.scenario`` CLI, the tests and any future
+multi-hop study — builds its testbed from one of these specs instead of
+hand-wiring :class:`~repro.netsim.engine.Simulator` /
+:class:`~repro.netsim.node.Host` / :class:`~repro.netsim.channel.Channel`
+objects.
+
+Design rules:
+
+* **Eager validation** — :meth:`ScenarioSpec.validate` checks the whole tree
+  (host references, rate/loss ranges, application names and parameter types
+  against the :mod:`repro.scenario.applications` registry) and raises
+  :class:`SpecError` with a path-qualified, actionable message.
+* **Strict JSON round-trip** — ``spec.to_dict()`` and
+  ``ScenarioSpec.from_dict`` are inverses; ``from_dict`` rejects unknown
+  keys, naming the offending key and listing the valid ones.
+* **Seeds are external** — the spec carries a default ``seed``, but
+  :func:`repro.scenario.builder.build` takes the run seed as an argument so
+  one spec can drive a multi-seed sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type, TypeVar
+
+__all__ = [
+    "SpecError",
+    "HostSpec",
+    "LinkSpec",
+    "DumbbellSpec",
+    "AppSpec",
+    "StopSpec",
+    "ScenarioSpec",
+    "CM_CONTROLLERS",
+    "CM_SCHEDULERS",
+    "METRIC_GROUPS",
+]
+
+#: Congestion-controller choices for CM-enabled hosts (see ``repro.core.congestion``).
+CM_CONTROLLERS: Tuple[str, ...] = ("aimd_window", "aimd_rate")
+
+#: Intra-macroflow scheduler choices (see ``repro.core.scheduler``).
+CM_SCHEDULERS: Tuple[str, ...] = ("round_robin", "weighted")
+
+#: Metric groups the runner knows how to collect.
+METRIC_GROUPS: Tuple[str, ...] = ("apps", "links", "hosts")
+
+
+class SpecError(ValueError):
+    """A scenario spec failed validation; the message says where and why."""
+
+    def __init__(self, path: str, message: str):
+        self.path = path
+        super().__init__(f"{path}: {message}" if path else message)
+
+
+def default_addr(index: int) -> str:
+    """Address assigned to the ``index``-th host when ``addr`` is left empty.
+
+    ``10.<index+1>.0.1`` reproduces the seed testbeds' sender/receiver
+    addresses (``10.1.0.1`` / ``10.2.0.1``) for the common two-host case.
+    The validator uses the same scheme as the builder so an explicit addr
+    cannot silently collide with a generated one.
+    """
+    return f"10.{index + 1}.0.1"
+
+
+_T = TypeVar("_T")
+
+
+def _reject_unknown_keys(cls: type, data: Mapping[str, Any], path: str) -> None:
+    """Raise a path-qualified SpecError for keys no field of ``cls`` matches."""
+    if not isinstance(data, Mapping):
+        raise SpecError(path, f"expected a mapping for {cls.__name__}, got {type(data).__name__}")
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise SpecError(
+            path,
+            f"unknown key{'s' if len(unknown) > 1 else ''} {', '.join(map(repr, unknown))} "
+            f"for {cls.__name__}; valid keys: {', '.join(sorted(known))}",
+        )
+
+
+def _from_mapping(cls: Type[_T], data: Mapping[str, Any], path: str) -> _T:
+    """Build a dataclass from a mapping, rejecting unknown keys."""
+    _reject_unknown_keys(cls, data, path)
+    return cls(**dict(data))  # type: ignore[arg-type]
+
+
+def _require(condition: bool, path: str, message: str) -> None:
+    if not condition:
+        raise SpecError(path, message)
+
+
+def _check_number(value: Any, path: str, minimum: Optional[float] = None,
+                  maximum: Optional[float] = None) -> None:
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool),
+             path, f"expected a number, got {value!r}")
+    if minimum is not None:
+        _require(value >= minimum, path, f"must be >= {minimum}, got {value!r}")
+    if maximum is not None:
+        _require(value <= maximum, path, f"must be <= {maximum}, got {value!r}")
+
+
+@dataclass
+class HostSpec:
+    """One end system.
+
+    ``addr`` defaults to ``10.<index+1>.0.1`` when left empty.  ``cm``
+    attaches a :class:`~repro.core.manager.CongestionManager` (with the named
+    controller/scheduler) after the topology is wired; experiments that need
+    to control CM construction order themselves leave it ``False`` and attach
+    one by hand.
+    """
+
+    name: str
+    addr: str = ""
+    costs: bool = True
+    cm: bool = False
+    cm_controller: str = "aimd_window"
+    cm_scheduler: str = "round_robin"
+
+    def validate(self, path: str) -> None:
+        _require(isinstance(self.name, str) and bool(self.name), path, "host name must be a non-empty string")
+        _require(isinstance(self.addr, str), f"{path}.addr", "must be a string")
+        _require(isinstance(self.costs, bool), f"{path}.costs", "must be a boolean")
+        _require(isinstance(self.cm, bool), f"{path}.cm", "must be a boolean")
+        _require(self.cm_controller in CM_CONTROLLERS, f"{path}.cm_controller",
+                 f"unknown controller {self.cm_controller!r}; choose from {', '.join(CM_CONTROLLERS)}")
+        _require(self.cm_scheduler in CM_SCHEDULERS, f"{path}.cm_scheduler",
+                 f"unknown scheduler {self.cm_scheduler!r}; choose from {', '.join(CM_SCHEDULERS)}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class LinkSpec:
+    """A bidirectional Dummynet-style channel between two named hosts.
+
+    ``delay`` is the one-way propagation delay; ``loss_rate`` applies to the
+    ``a -> b`` direction and ``reverse_loss_rate`` to ``b -> a`` (``None``
+    means symmetric, matching :class:`~repro.netsim.channel.Channel`).
+    ``seed_offset`` is added to the run seed for this link's random-loss RNG
+    so multiple links in one scenario draw independent streams; leaving it
+    at ``0`` auto-derives an offset from the link's position (``2 * index``,
+    since each channel consumes two consecutive seeds), which keeps the
+    first link byte-identical to the legacy single-link testbeds while
+    making additional links independent by default.
+    ``rate_schedule`` is a sequence of ``(time, rate_bps)`` steps applied by
+    the runner while the scenario executes (Figures 8/9-style bandwidth
+    changes).
+    """
+
+    a: str
+    b: str
+    rate_bps: float
+    delay: float
+    queue_limit: Optional[int] = 100
+    loss_rate: float = 0.0
+    reverse_loss_rate: Optional[float] = None
+    ecn_threshold: Optional[int] = None
+    seed_offset: int = 0
+    rate_schedule: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        # Normalize JSON lists into tuples; malformed steps (including
+        # non-sequence entries) are preserved so validate() can report them
+        # with a path-qualified message rather than a raw TypeError here.
+        self.rate_schedule = tuple(
+            tuple(step) if isinstance(step, (list, tuple)) else (step,)
+            for step in self.rate_schedule
+        )
+
+    def validate(self, path: str, host_names: Sequence[str]) -> None:
+        for end, label in ((self.a, "a"), (self.b, "b")):
+            _require(end in host_names, f"{path}.{label}",
+                     f"unknown host {end!r}; declared hosts: {', '.join(host_names) or '(none)'}")
+        _require(self.a != self.b, path, f"link endpoints must differ, both are {self.a!r}")
+        _check_number(self.rate_bps, f"{path}.rate_bps", minimum=1.0)
+        _check_number(self.delay, f"{path}.delay", minimum=0.0)
+        _check_number(self.loss_rate, f"{path}.loss_rate", minimum=0.0, maximum=1.0)
+        if self.reverse_loss_rate is not None:
+            _check_number(self.reverse_loss_rate, f"{path}.reverse_loss_rate", minimum=0.0, maximum=1.0)
+        if self.queue_limit is not None:
+            _check_number(self.queue_limit, f"{path}.queue_limit", minimum=1)
+        if self.ecn_threshold is not None:
+            _check_number(self.ecn_threshold, f"{path}.ecn_threshold", minimum=1)
+        _require(isinstance(self.seed_offset, int), f"{path}.seed_offset", "must be an integer")
+        last = -1.0
+        for index, step in enumerate(self.rate_schedule):
+            step_path = f"{path}.rate_schedule[{index}]"
+            _require(len(step) == 2, step_path, "each step must be a (time, rate_bps) pair")
+            _check_number(step[0], f"{step_path}.time", minimum=0.0)
+            _check_number(step[1], f"{step_path}.rate_bps", minimum=1.0)
+            _require(step[0] > last, step_path, "step times must be strictly increasing")
+            last = step[0]
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        payload["rate_schedule"] = [list(step) for step in self.rate_schedule]
+        return payload
+
+
+@dataclass
+class DumbbellSpec:
+    """The classic shared-bottleneck topology, generated instead of listed.
+
+    Builds ``n_pairs`` sender/receiver host pairs (named ``sender0`` /
+    ``receiver0`` ...) around one constrained router-to-router link via
+    :func:`repro.netsim.channel.build_dumbbell`.  ``cm_senders`` lists the
+    sender indices that get a Congestion Manager attached after wiring.
+    """
+
+    n_pairs: int
+    bottleneck_bps: float
+    bottleneck_delay: float
+    access_bps: float = 1e9
+    access_delay: float = 0.1e-3
+    queue_limit: int = 64
+    loss_rate: float = 0.0
+    ecn_threshold: Optional[int] = None
+    with_costs: bool = True
+    cm_senders: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.cm_senders = tuple(int(i) for i in self.cm_senders)
+
+    def host_names(self) -> List[str]:
+        """The generated host names, senders first (matching build order)."""
+        names = [f"sender{i}" for i in range(self.n_pairs)]
+        names += [f"receiver{i}" for i in range(self.n_pairs)]
+        return names
+
+    def validate(self, path: str) -> None:
+        _require(isinstance(self.n_pairs, int) and self.n_pairs >= 1, f"{path}.n_pairs",
+                 f"need at least one sender/receiver pair, got {self.n_pairs!r}")
+        _check_number(self.bottleneck_bps, f"{path}.bottleneck_bps", minimum=1.0)
+        _check_number(self.bottleneck_delay, f"{path}.bottleneck_delay", minimum=0.0)
+        _check_number(self.access_bps, f"{path}.access_bps", minimum=1.0)
+        _check_number(self.access_delay, f"{path}.access_delay", minimum=0.0)
+        _check_number(self.queue_limit, f"{path}.queue_limit", minimum=1)
+        _check_number(self.loss_rate, f"{path}.loss_rate", minimum=0.0, maximum=1.0)
+        if self.ecn_threshold is not None:
+            _check_number(self.ecn_threshold, f"{path}.ecn_threshold", minimum=1)
+        for index in self.cm_senders:
+            _require(0 <= index < self.n_pairs, f"{path}.cm_senders",
+                     f"sender index {index} out of range 0..{self.n_pairs - 1}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        payload["cm_senders"] = list(self.cm_senders)
+        return payload
+
+
+@dataclass
+class AppSpec:
+    """One application instance from the registry.
+
+    ``host`` is where the application runs; ``peer`` names the remote host
+    for applications that address one (senders, clients).  ``params`` is
+    validated against the application's declared parameter schema — unknown
+    parameters, missing required ones and type mismatches are all eager
+    :class:`SpecError`\\ s.  ``label`` distinguishes multiple instances of
+    the same application in the result (defaults to ``app[index]``).
+    """
+
+    app: str
+    host: str
+    peer: str = ""
+    label: str = ""
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def normalized_params(self) -> Dict[str, Any]:
+        """The defaults-applied params cached by the last :meth:`validate`.
+
+        The builder runs once per trial, so it reuses the dict the eager
+        validation pass already produced instead of re-walking the schema.
+        """
+        cached = getattr(self, "_normalized_params", None)
+        if cached is None:
+            raise SpecError("params", f"app {self.app!r} has not been validated yet")
+        return cached
+
+    def validate(self, path: str, host_names: Sequence[str]) -> Dict[str, Any]:
+        """Validate, cache and return the normalized (defaults-applied) params."""
+        from .applications import get_application, known_applications, validate_params
+
+        _require(isinstance(self.app, str) and bool(self.app), f"{path}.app",
+                 "application name must be a non-empty string")
+        try:
+            app_cls = get_application(self.app)
+        except KeyError:
+            raise SpecError(f"{path}.app",
+                            f"unknown application {self.app!r}; registered: "
+                            f"{', '.join(known_applications())}") from None
+        _require(self.host in host_names, f"{path}.host",
+                 f"unknown host {self.host!r}; declared hosts: {', '.join(host_names) or '(none)'}")
+        if app_cls.needs_peer:
+            _require(bool(self.peer), f"{path}.peer",
+                     f"application {self.app!r} needs a peer host")
+        if self.peer:
+            _require(self.peer in host_names, f"{path}.peer",
+                     f"unknown host {self.peer!r}; declared hosts: {', '.join(host_names) or '(none)'}")
+            _require(self.peer != self.host, f"{path}.peer", "peer must differ from host")
+        _require(isinstance(self.params, dict), f"{path}.params", "must be a mapping")
+        normalized = validate_params(self.app, self.params, path=f"{path}.params")
+        self._normalized_params = normalized
+        return normalized
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class StopSpec:
+    """When the runner stops the simulation.
+
+    ``until`` is the hard horizon in simulated seconds.  With
+    ``when_apps_done`` the runner additionally polls every
+    ``check_interval`` simulated seconds and stops early once every
+    application that reports a completion state is done.
+    """
+
+    until: float = 10.0
+    when_apps_done: bool = False
+    check_interval: float = 1.0
+
+    def validate(self, path: str) -> None:
+        _check_number(self.until, f"{path}.until", minimum=1e-9)
+        _check_number(self.check_interval, f"{path}.check_interval", minimum=1e-9)
+        _require(isinstance(self.when_apps_done, bool), f"{path}.when_apps_done", "must be a boolean")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class ScenarioSpec:
+    """The root of the declarative scenario tree."""
+
+    name: str
+    description: str = ""
+    hosts: List[HostSpec] = field(default_factory=list)
+    links: List[LinkSpec] = field(default_factory=list)
+    dumbbell: Optional[DumbbellSpec] = None
+    apps: List[AppSpec] = field(default_factory=list)
+    stop: StopSpec = field(default_factory=StopSpec)
+    metrics: Tuple[str, ...] = ("apps",)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.metrics = tuple(self.metrics)
+
+    # ------------------------------------------------------------ validation
+    def host_names(self) -> List[str]:
+        """All host names the apps/links may reference, in build order."""
+        if self.dumbbell is not None:
+            return self.dumbbell.host_names()
+        return [host.name for host in self.hosts]
+
+    def validate(self) -> "ScenarioSpec":
+        """Validate the whole tree eagerly; returns ``self`` for chaining."""
+        _require(isinstance(self.name, str) and bool(self.name), "name",
+                 "scenario name must be a non-empty string")
+        _require(isinstance(self.seed, int), "seed", "must be an integer")
+        if self.dumbbell is not None:
+            _require(not self.hosts and not self.links, "dumbbell",
+                     "a dumbbell scenario generates its hosts; drop the explicit hosts/links")
+            self.dumbbell.validate("dumbbell")
+        else:
+            _require(bool(self.hosts), "hosts", "need at least one host (or a dumbbell)")
+            seen_names: Dict[str, int] = {}
+            seen_addrs: Dict[str, str] = {}
+            for index, host in enumerate(self.hosts):
+                path = f"hosts[{index}]"
+                host.validate(path)
+                _require(host.name not in seen_names, path,
+                         f"duplicate host name {host.name!r} (also hosts[{seen_names.get(host.name)}])")
+                seen_names[host.name] = index
+                # Check the *effective* address: an explicit addr must not
+                # collide with another host's builder-generated default.
+                addr = host.addr or default_addr(index)
+                _require(addr not in seen_addrs, f"{path}.addr",
+                         f"duplicate address {addr!r} (also used by {seen_addrs.get(addr)!r})")
+                seen_addrs[addr] = host.name
+        names = self.host_names()
+        for index, link in enumerate(self.links):
+            link.validate(f"links[{index}]", names)
+        seen_labels: Dict[str, int] = {}
+        for index, app in enumerate(self.apps):
+            app.validate(f"apps[{index}]", names)
+            if app.label:
+                _require(app.label not in seen_labels, f"apps[{index}].label",
+                         f"duplicate label {app.label!r} (also apps[{seen_labels.get(app.label)}]); "
+                         "labels address app entries in the result, so they must be unique")
+                seen_labels[app.label] = index
+        self.stop.validate("stop")
+        for metric in self.metrics:
+            _require(metric in METRIC_GROUPS, "metrics",
+                     f"unknown metric group {metric!r}; choose from {', '.join(METRIC_GROUPS)}")
+        return self
+
+    # --------------------------------------------------------- serialisation
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON rendering; ``from_dict(to_dict(spec))`` == ``spec``."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "hosts": [host.to_dict() for host in self.hosts],
+            "links": [link.to_dict() for link in self.links],
+            "dumbbell": self.dumbbell.to_dict() if self.dumbbell is not None else None,
+            "apps": [app.to_dict() for app in self.apps],
+            "stop": self.stop.to_dict(),
+            "metrics": list(self.metrics),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Strict inverse of :meth:`to_dict`; unknown keys raise :class:`SpecError`."""
+        _reject_unknown_keys(cls, data, "")
+        payload = dict(data)
+        hosts = [_from_mapping(HostSpec, item, f"hosts[{i}]")
+                 for i, item in enumerate(payload.pop("hosts", []) or [])]
+        links_data = payload.pop("links", []) or []
+        links: List[LinkSpec] = []
+        for i, item in enumerate(links_data):
+            link = _from_mapping(LinkSpec, dict(item), f"links[{i}]")
+            links.append(link)
+        dumbbell_data = payload.pop("dumbbell", None)
+        dumbbell = (_from_mapping(DumbbellSpec, dumbbell_data, "dumbbell")
+                    if dumbbell_data is not None else None)
+        apps = [_from_mapping(AppSpec, item, f"apps[{i}]")
+                for i, item in enumerate(payload.pop("apps", []) or [])]
+        stop_data = payload.pop("stop", None)
+        stop = _from_mapping(StopSpec, stop_data, "stop") if stop_data is not None else StopSpec()
+        metrics_data = payload.pop("metrics", ("apps",))
+        if not isinstance(metrics_data, (list, tuple)):
+            # tuple("apps") would silently explode a string into characters.
+            raise SpecError("metrics",
+                            f"expected a list of metric groups, got {type(metrics_data).__name__} "
+                            f"({metrics_data!r})")
+        metrics = tuple(metrics_data)
+        return cls(
+            name=payload.pop("name", ""),
+            description=payload.pop("description", ""),
+            hosts=hosts,
+            links=links,
+            dumbbell=dumbbell,
+            apps=apps,
+            stop=stop,
+            metrics=metrics,
+            seed=payload.pop("seed", 0),
+        )

@@ -34,6 +34,7 @@ from ...core.constants import (
     CM_PERSISTENT_CONGESTION,
     CM_TRANSIENT_CONGESTION,
 )
+from ...core.errors import FlowClosedError, UnknownFlowError
 from ...netsim.node import Host
 from ...netsim.packet import DEFAULT_MSS, PROTO_TCP
 from .sender import DEFAULT_RECEIVE_WINDOW, MAX_BACKOFF, TCPSenderBase
@@ -215,12 +216,28 @@ class CMTCPSender(TCPSenderBase):
         if length > 0:
             self._transmit_segment(self.snd_una, length, retransmission=True)
 
+    def _decline_grant(self, flow_id: int) -> None:
+        """Give an unusable grant back so sibling flows are not starved.
+
+        A grant can arrive *after* ``close()``: the CM defers ``cmapp_send``
+        callbacks (call-soon queue), so one may already be in flight when
+        ``cm_close`` retires the flow.  The CM reclaims the closed flow's
+        reserved window itself in that case, so the decline is simply
+        dropped instead of crashing on the unknown flow id.
+        """
+        self.declined_grants += 1
+        try:
+            self.cm.cm_notify(flow_id, 0)
+        except (UnknownFlowError, FlowClosedError):
+            # Only the after-close race is tolerable; other CM errors on a
+            # live flow must keep propagating.
+            pass
+
     def _cmapp_send(self, flow_id: int) -> None:
         """CM grant: transmit a retransmission first, otherwise new data."""
         self._requests_outstanding = max(0, self._requests_outstanding - 1)
         if self.closed or not self.connected:
-            self.cm.cm_notify(flow_id, 0)
-            self.declined_grants += 1
+            self._decline_grant(flow_id)
             return
         if self._retransmit_queue:
             seq, length = self._retransmit_queue.pop(0)
@@ -239,5 +256,4 @@ class CMTCPSender(TCPSenderBase):
             return
         # Nothing to send after all: give the grant back so other flows on
         # the macroflow are not starved (paper §2.1.3).
-        self.declined_grants += 1
-        self.cm.cm_notify(flow_id, 0)
+        self._decline_grant(flow_id)

@@ -45,6 +45,25 @@ class TestWorkloads:
         assert payload["cpu_count"] >= 1.0
         assert "figure3 trials" in payload["notes"]
 
+    def test_scenario_build_benchmark_row(self):
+        result = harness.bench_scenario_build(builds=20, repeats=1)
+        assert result.ops == 20
+        assert result.wall_s > 0
+        assert result.speedup is not None and result.speedup > 0
+        assert "ScenarioSpec" in result.notes
+
+    def test_legacy_pair_matches_spec_compiled_testbed(self):
+        from repro.experiments.topology import build_testbed, dummynet_pair_spec
+        from repro.perf.legacy import legacy_dummynet_pair
+
+        testbed = build_testbed(dummynet_pair_spec(loss_rate=0.01), seed=5)
+        _sim, sender, receiver, channel = legacy_dummynet_pair(loss_rate=0.01, seed=5)
+        assert (sender.addr, receiver.addr) == (testbed.sender.addr, testbed.receiver.addr)
+        assert channel.rate_bps == testbed.channel.rate_bps
+        assert channel.rtt == testbed.channel.rtt
+        assert channel.forward.loss_rate == testbed.channel.forward.loss_rate
+        assert channel.reverse.loss_rate == testbed.channel.reverse.loss_rate == 0.0
+
     def test_legacy_simulator_matches_current_semantics(self):
         from repro.netsim.engine import Simulator
 

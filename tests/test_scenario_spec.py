@@ -1,0 +1,244 @@
+"""Spec-tree validation and JSON round-tripping for the scenario layer."""
+
+import pytest
+
+from repro.scenario import (
+    AppSpec,
+    DumbbellSpec,
+    HostSpec,
+    LinkSpec,
+    PRESETS,
+    ScenarioSpec,
+    SpecError,
+    StopSpec,
+    get_preset,
+    known_applications,
+    validate_params,
+)
+
+
+def minimal_spec(**overrides) -> ScenarioSpec:
+    fields = dict(
+        name="minimal",
+        hosts=[HostSpec(name="a"), HostSpec(name="b")],
+        links=[LinkSpec(a="a", b="b", rate_bps=1e6, delay=0.01)],
+        stop=StopSpec(until=1.0),
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestValidation:
+    def test_minimal_spec_validates(self):
+        minimal_spec().validate()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecError, match="name"):
+            minimal_spec(name="").validate()
+
+    def test_no_hosts_rejected(self):
+        with pytest.raises(SpecError, match="at least one host"):
+            ScenarioSpec(name="x").validate()
+
+    def test_duplicate_host_name_rejected(self):
+        spec = minimal_spec(hosts=[HostSpec(name="a"), HostSpec(name="a")])
+        with pytest.raises(SpecError, match="duplicate host name"):
+            spec.validate()
+
+    def test_duplicate_addr_rejected(self):
+        spec = minimal_spec(
+            hosts=[HostSpec(name="a", addr="10.0.0.1"), HostSpec(name="b", addr="10.0.0.1")]
+        )
+        with pytest.raises(SpecError, match="duplicate address"):
+            spec.validate()
+
+    def test_explicit_addr_colliding_with_generated_default_rejected(self):
+        # Host 0 defaults to 10.1.0.1; an explicit 10.1.0.1 elsewhere would
+        # silently merge the two hosts' routing.
+        spec = minimal_spec(
+            hosts=[HostSpec(name="a"), HostSpec(name="b", addr="10.1.0.1")]
+        )
+        with pytest.raises(SpecError, match="duplicate address '10.1.0.1'"):
+            spec.validate()
+
+    def test_link_to_unknown_host_names_known_hosts(self):
+        spec = minimal_spec(links=[LinkSpec(a="a", b="nowhere", rate_bps=1e6, delay=0.01)])
+        with pytest.raises(SpecError, match="unknown host 'nowhere'.*declared hosts: a, b"):
+            spec.validate()
+
+    def test_self_link_rejected(self):
+        spec = minimal_spec(links=[LinkSpec(a="a", b="a", rate_bps=1e6, delay=0.01)])
+        with pytest.raises(SpecError, match="endpoints must differ"):
+            spec.validate()
+
+    def test_loss_rate_range_checked(self):
+        spec = minimal_spec(links=[LinkSpec(a="a", b="b", rate_bps=1e6, delay=0.01, loss_rate=1.5)])
+        with pytest.raises(SpecError, match=r"loss_rate: must be <= 1"):
+            spec.validate()
+
+    def test_rate_schedule_must_increase(self):
+        spec = minimal_spec(
+            links=[LinkSpec(a="a", b="b", rate_bps=1e6, delay=0.01,
+                            rate_schedule=((5.0, 1e6), (2.0, 2e6)))]
+        )
+        with pytest.raises(SpecError, match="strictly increasing"):
+            spec.validate()
+
+    def test_unknown_controller_rejected(self):
+        spec = minimal_spec(hosts=[HostSpec(name="a", cm_controller="vegas"), HostSpec(name="b")])
+        with pytest.raises(SpecError, match="unknown controller 'vegas'"):
+            spec.validate()
+
+    def test_dumbbell_and_hosts_are_exclusive(self):
+        spec = minimal_spec(
+            dumbbell=DumbbellSpec(n_pairs=1, bottleneck_bps=1e6, bottleneck_delay=0.01)
+        )
+        with pytest.raises(SpecError, match="dumbbell"):
+            spec.validate()
+
+    def test_dumbbell_cm_sender_index_checked(self):
+        spec = ScenarioSpec(
+            name="bell",
+            dumbbell=DumbbellSpec(n_pairs=2, bottleneck_bps=1e6, bottleneck_delay=0.01,
+                                  cm_senders=(5,)),
+        )
+        with pytest.raises(SpecError, match="out of range"):
+            spec.validate()
+
+    def test_dumbbell_generates_host_names(self):
+        spec = ScenarioSpec(
+            name="bell",
+            dumbbell=DumbbellSpec(n_pairs=2, bottleneck_bps=1e6, bottleneck_delay=0.01),
+        )
+        assert spec.host_names() == ["sender0", "sender1", "receiver0", "receiver1"]
+
+    def test_cm_and_costs_must_be_booleans(self):
+        spec = minimal_spec(hosts=[HostSpec(name="a", cm="no"), HostSpec(name="b")])
+        with pytest.raises(SpecError, match=r"hosts\[0\].cm: must be a boolean"):
+            spec.validate()
+        spec = minimal_spec(hosts=[HostSpec(name="a", costs="false"), HostSpec(name="b")])
+        with pytest.raises(SpecError, match=r"hosts\[0\].costs: must be a boolean"):
+            spec.validate()
+
+    def test_duplicate_app_labels_rejected(self):
+        spec = minimal_spec(apps=[
+            AppSpec(app="tcp_listener", host="b", label="L", params={"port": 80}),
+            AppSpec(app="tcp_listener", host="b", label="L", params={"port": 81}),
+        ])
+        with pytest.raises(SpecError, match=r"apps\[1\].label: duplicate label 'L'"):
+            spec.validate()
+
+    def test_unknown_metric_group_rejected(self):
+        with pytest.raises(SpecError, match="unknown metric group"):
+            minimal_spec(metrics=("apps", "quarks")).validate()
+
+    def test_stop_until_must_be_positive(self):
+        with pytest.raises(SpecError, match="stop.until"):
+            minimal_spec(stop=StopSpec(until=0.0)).validate()
+
+
+class TestAppValidation:
+    def test_unknown_app_lists_registry(self):
+        spec = minimal_spec(apps=[AppSpec(app="quake", host="a")])
+        with pytest.raises(SpecError, match="unknown application 'quake'.*registered:"):
+            spec.validate()
+
+    def test_app_on_unknown_host_rejected(self):
+        spec = minimal_spec(apps=[AppSpec(app="tcp_listener", host="z", params={"port": 80})])
+        with pytest.raises(SpecError, match="unknown host 'z'"):
+            spec.validate()
+
+    def test_missing_peer_rejected(self):
+        spec = minimal_spec(apps=[
+            AppSpec(app="tcp_sender", host="a", params={"port": 80, "transfer_bytes": 1000}),
+        ])
+        with pytest.raises(SpecError, match="needs a peer host"):
+            spec.validate()
+
+    def test_unknown_param_is_actionable(self):
+        with pytest.raises(SpecError, match="unknown parameter 'prot'.*valid parameters:"):
+            validate_params("tcp_listener", {"port": 80, "prot": "tcp"})
+
+    def test_missing_required_param_rejected(self):
+        with pytest.raises(SpecError, match="params.port: required parameter"):
+            validate_params("tcp_listener", {})
+
+    def test_wrong_param_type_rejected(self):
+        with pytest.raises(SpecError, match="expected int, got str"):
+            validate_params("tcp_listener", {"port": "eighty"})
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(SpecError, match="expected int, got"):
+            validate_params("tcp_listener", {"port": True})
+
+    def test_param_choices_enforced(self):
+        with pytest.raises(SpecError, match="must be one of"):
+            validate_params("tcp_sender", {"port": 80, "transfer_bytes": 10, "variant": "cubic"})
+
+    def test_int_accepted_where_float_declared(self):
+        params = validate_params("web_client", {"spacing": 1})
+        assert params["spacing"] == 1.0 and isinstance(params["spacing"], float)
+
+    def test_nullable_param_accepts_null(self):
+        params = validate_params("ack_reflector", {"port": 1, "ack_delay": None})
+        assert params["ack_delay"] is None
+
+    def test_defaults_applied(self):
+        params = validate_params("tcp_listener", {"port": 80})
+        assert params == {"port": 80, "delayed_acks": True}
+
+
+class TestRoundTrip:
+    def test_from_dict_rejects_unknown_top_level_key(self):
+        with pytest.raises(SpecError, match="unknown key 'topology'.*valid keys:"):
+            ScenarioSpec.from_dict({"name": "x", "topology": []})
+
+    def test_from_dict_rejects_unknown_nested_key(self):
+        data = minimal_spec().to_dict()
+        data["hosts"][0]["cpu"] = 2
+        with pytest.raises(SpecError, match=r"hosts\[0\]: unknown key 'cpu'"):
+            ScenarioSpec.from_dict(data)
+
+    def test_from_dict_rejects_unknown_link_key(self):
+        data = minimal_spec().to_dict()
+        data["links"][0]["bandwidth"] = 1e6
+        with pytest.raises(SpecError, match=r"links\[0\]: unknown key 'bandwidth'"):
+            ScenarioSpec.from_dict(data)
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_presets_validate_and_round_trip(self, name):
+        spec = get_preset(name)
+        spec.validate()
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        clone.validate()
+        assert clone.to_dict() == spec.to_dict()
+
+    def test_from_dict_rejects_string_metrics(self):
+        data = minimal_spec().to_dict()
+        data["metrics"] = "apps"  # would otherwise explode into characters
+        with pytest.raises(SpecError, match="metrics: expected a list"):
+            ScenarioSpec.from_dict(data)
+
+    def test_malformed_rate_schedule_step_gets_spec_error_not_type_error(self):
+        data = minimal_spec().to_dict()
+        # A user forgetting the nested pair list is a SpecError with a path,
+        # not a raw TypeError from tuple-izing a float.
+        data["links"][0]["rate_schedule"] = [6.0, 4e6]
+        with pytest.raises(SpecError, match=r"rate_schedule\[0\].*pair"):
+            ScenarioSpec.from_dict(data).validate()
+
+    def test_round_trip_preserves_rate_schedule(self):
+        spec = minimal_spec(
+            links=[LinkSpec(a="a", b="b", rate_bps=1e6, delay=0.01,
+                            rate_schedule=((1.0, 2e6), (2.0, 3e6)))]
+        )
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone.links[0].rate_schedule == ((1.0, 2e6), (2.0, 3e6))
+
+
+def test_registry_covers_all_app_layers():
+    """Every workload family from the paper is registered."""
+    names = known_applications()
+    for expected in ("bulk", "web_server", "web_client", "vat", "layered_streaming",
+                     "udp_api", "tcp_api", "tcp_sender", "tcp_listener", "ack_reflector"):
+        assert expected in names

@@ -137,6 +137,23 @@ class TestCMTCP:
         sender.close()
         assert pair.cm.open_flow_count == 0
 
+    def test_grant_arriving_after_close_is_declined_quietly(self, make_pair):
+        """Regression: cmapp_send callbacks are deferred (call-soon), so a
+        grant can land after close() has retired the CM flow; the decline
+        must not crash on the unknown flow id."""
+        pair = make_pair(with_cm=True)
+        listener = TCPListener(pair.receiver, 80)
+        sender = CMTCPSender(pair.sender, pair.receiver.addr, 80)
+        sender.send(2_000)
+        pair.sim.run(until=2.0)
+        assert sender.done
+        # Queue one more grant, then close before the deferred callback runs.
+        pair.cm.cm_request(sender.flow_id)
+        sender.close()
+        pair.sim.run()  # must not raise UnknownFlowError
+        assert sender.declined_grants >= 1
+        listener.close()
+
     def test_sequential_connections_share_congestion_state(self, make_pair):
         """The Figure 7 mechanism: the second connection skips slow start."""
         pair = make_pair(with_cm=True, one_way_delay=0.04, rate_bps=16e6)
