@@ -93,12 +93,20 @@ class LayeredStreamingServer:
         self._send_event = None
         self._requests_outstanding = 0
 
-        # Instrumentation for Figures 8-10.
+        # Instrumentation for Figures 8-10.  The transmission-rate series is
+        # a bounded fixed-bin recorder (RateTracker is a facade over
+        # repro.telemetry.recorders.FixedBinAccumulator since PR 4).
         self.tx_rate = RateTracker(bin_width=rate_bin)
         self.reported_rates: List[Tuple[float, float]] = []
         self.layer_history: List[Tuple[float, int]] = []
         self.packets_sent = 0
         self.bytes_sent = 0
+        # Telemetry probe slot (repro.telemetry); None = compiled no-op.
+        self._probe_chunk = None
+
+    def attach_telemetry(self, hub) -> None:
+        """Bind the ``app.chunk`` probe to a telemetry hub."""
+        self._probe_chunk = hub.probe("app.chunk")
 
     # ====================================================================== #
     # Control                                                                #
@@ -202,6 +210,10 @@ class LayeredStreamingServer:
         self.tx_rate.record(self.sim.now, self.packet_payload)
         self.packets_sent += 1
         self.bytes_sent += self.packet_payload
+        probe = self._probe_chunk
+        if probe is not None:
+            probe(self.sim.now, {"seq": seq, "layer": self.current_layer,
+                                 "size": self.packet_payload})
         if self.mode == "rate":
             # The clocked sender's transmissions are not matched to explicit
             # grants, so report them so the CM can charge the macroflow (the

@@ -81,6 +81,9 @@ class Macroflow:
         self.last_congestion_reaction_time: Optional[float] = None
         self.congestion_reactions: int = 0
         self.suppressed_congestion_reports: int = 0
+        # Telemetry probe slot (bound by CongestionManager.attach_telemetry);
+        # None is the compiled no-op.
+        self._probe_congestion = None
 
     # -------------------------------------------------------------- membership
     def add_flow(self, flow: Flow) -> None:
@@ -193,6 +196,10 @@ class Macroflow:
             self.controller.dispatch_update(nrecd, lossmode)
             self.last_congestion_reaction_time = now
             self.congestion_reactions += 1
+            probe = self._probe_congestion
+            if probe is not None:
+                probe(now, {"macroflow": self.macroflow_id, "lossmode": lossmode,
+                            "cwnd": self.controller.cwnd})
         else:
             # Another flow already reported this congestion epoch; count the
             # report but do not halve the shared window again.

@@ -119,7 +119,29 @@ class CongestionManager:
         self._next_flow_id = 1
         self._next_macroflow_id = 1
 
+        # Telemetry (repro.telemetry): the grant probe slot is None (a
+        # compiled no-op) until attach_telemetry binds a hub with a
+        # subscribed recorder; the hub reference lets macroflows created
+        # later inherit the congestion-reaction probe.
+        self._telemetry_hub = None
+        self._probe_grant = None
+
         host.attach_cm(self)
+
+    # ====================================================================== #
+    # Telemetry                                                              #
+    # ====================================================================== #
+    def attach_telemetry(self, hub) -> None:
+        """Bind CM probes (grant dispatch, congestion reactions) to ``hub``.
+
+        Existing macroflows get the congestion probe immediately; macroflows
+        created afterwards inherit it at construction time.
+        """
+        self._telemetry_hub = hub
+        self._probe_grant = hub.probe("cm.grant")
+        probe = hub.probe("cm.congestion")
+        for macroflow in self._macroflows.values():
+            macroflow._probe_congestion = probe
 
     # ====================================================================== #
     # State management                                                       #
@@ -415,6 +437,8 @@ class CongestionManager:
         )
         self._next_macroflow_id += 1
         self._macroflows[macroflow.macroflow_id] = macroflow
+        if self._telemetry_hub is not None:
+            macroflow._probe_congestion = self._telemetry_hub.probe("cm.congestion")
         return macroflow
 
     def _drop_macroflow(self, macroflow: Macroflow) -> None:
@@ -479,6 +503,12 @@ class CongestionManager:
                 append(flow)
             if granted:
                 macroflow.reserved_bytes += len(granted) * mtu
+                probe = self._probe_grant
+                if probe is not None:
+                    now = self.sim.now
+                    mf_id = macroflow.macroflow_id
+                    for flow in granted:
+                        probe(now, {"macroflow": mf_id, "flow": flow.flow_id})
                 # Both channel kinds defer delivery (call_soon / control-socket
                 # queue), so posting after the batch bookkeeping cannot recurse
                 # into the grant path and preserves the per-grant ordering.

@@ -33,6 +33,7 @@ from . import (
     figure9,
     figure10,
     table1,
+    timeseries,
 )
 from .base import ExperimentResult
 from .parallel import TrialOutcome, TrialSpec
@@ -175,6 +176,16 @@ register(
         trial=ablations.run_trial,
         reduce=ablations.reduce,
         run=ablations.run,
+    )
+)
+register(
+    ExperimentSpec(
+        name="timeseries",
+        trials=timeseries.trials,
+        trial=timeseries.run_trial,
+        reduce=timeseries.reduce,
+        run=timeseries.run,
+        smoke={"duration": 6.0, "sample_interval": 0.5},
     )
 )
 register(

@@ -83,7 +83,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help="experiment names (figure3..figure10, table1, ablations) or 'all'",
+        help="experiment names (figure3..figure10, table1, ablations, timeseries) or 'all'",
     )
     parser.add_argument("--quiet", action="store_true", help="suppress progress messages")
     parser.add_argument(

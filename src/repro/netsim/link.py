@@ -116,11 +116,26 @@ class Link:
         self._busy = False
         self._receiver: Optional[Callable[[Packet], None]] = None
         self._drop_hook: Optional[Callable[[Packet, str], None]] = None
+        # Telemetry probe slots (see repro.telemetry.probes): None is the
+        # compiled no-op — the hot paths below pay one identity test each.
+        self._probe_enqueue = None
+        self._probe_drop = None
+        self._probe_deliver = None
 
     # ------------------------------------------------------------- attachment
     def attach(self, receiver: Callable[[Packet], None]) -> None:
         """Set the callable that receives packets at the far end of the link."""
         self._receiver = receiver
+
+    def attach_telemetry(self, hub) -> None:
+        """Bind this link's packet probes to a :class:`~repro.telemetry.TelemetryHub`.
+
+        Probes without a subscribed recorder stay ``None``, keeping the
+        corresponding path exactly as cheap as an un-instrumented link.
+        """
+        self._probe_enqueue = hub.probe("packet.enqueue")
+        self._probe_drop = hub.probe("packet.drop")
+        self._probe_deliver = hub.probe("packet.deliver")
 
     def on_drop(self, hook: Callable[[Packet, str], None]) -> None:
         """Register an observer invoked with ``(packet, reason)`` on every drop."""
@@ -162,6 +177,10 @@ class Link:
 
         self.stats.enqueued_packets += 1
         self._queue.append((packet, self.sim.now))
+        probe = self._probe_enqueue
+        if probe is not None:
+            probe(self.sim.now, {"link": self.name, "size": packet.size,
+                                 "queue": len(self._queue)})
         if not self._busy:
             self._start_next()
         return True
@@ -186,9 +205,16 @@ class Link:
     def _deliver(self, packet: Packet) -> None:
         self.stats.delivered_packets += 1
         self.stats.delivered_bytes += packet.size
+        probe = self._probe_deliver
+        if probe is not None:
+            probe(self.sim.now, {"link": self.name, "size": packet.size})
         self._receiver(packet)
 
     def _notify_drop(self, packet: Packet, reason: str) -> None:
+        probe = self._probe_drop
+        if probe is not None:
+            probe(self.sim.now, {"link": self.name, "size": packet.size,
+                                 "reason": reason})
         if self._drop_hook is not None:
             self._drop_hook(packet, reason)
 

@@ -1,17 +1,43 @@
-"""Packet and rate tracing helpers.
+"""Packet and rate tracing helpers (thin facades over ``repro.telemetry``).
 
 Experiments in the paper's evaluation (Figures 8-10) plot transmission rate
 over time; :class:`RateTracker` produces exactly that kind of binned
 time-series from per-packet events, and :class:`PacketTrace` keeps a raw
 event log useful in tests.
+
+Since PR 4 both classes are facades over the bounded recorders in
+:mod:`repro.telemetry.recorders`:
+
+* :class:`RateTracker` *is a* :class:`~repro.telemetry.recorders.FixedBinAccumulator`
+  — same binning semantics as before, but with a hard cap on distinct bins
+  (overflow is folded into the edge bins and counted, never silently
+  dropped, never unbounded).
+* :class:`PacketTrace` keeps its records in a
+  :class:`~repro.telemetry.recorders.RingRecorder` instead of an unbounded
+  Python list.  **Deprecation note:** the old unbounded-list behaviour is
+  gone; a trace longer than ``capacity`` keeps only the newest records and
+  counts the rest in :attr:`PacketTrace.dropped_records`.  New code should
+  subscribe a recorder to the link probes (``packet.enqueue`` /
+  ``packet.drop`` / ``packet.deliver``) through the telemetry layer instead
+  — see ``docs/telemetry.md`` for the migration path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
+
+from ..telemetry.recorders import FixedBinAccumulator, RingRecorder
 
 __all__ = ["TraceRecord", "PacketTrace", "RateTracker"]
+
+#: Default bound on a PacketTrace (records kept before the ring recycles).
+DEFAULT_TRACE_CAPACITY = 65_536
+
+#: Default bound on RateTracker bins; at the default 0.5 s bin width this
+#: covers over nine simulated hours, far past any experiment's horizon, so
+#: existing series are bit-identical to the unbounded implementation.
+DEFAULT_RATE_BINS = 65_536
 
 
 @dataclass
@@ -27,50 +53,68 @@ class TraceRecord:
 
 
 class PacketTrace:
-    """Append-only log of packet events.
+    """Bounded log of packet events (facade over :class:`RingRecorder`).
 
     The trace is intentionally simple: experiments filter it with Python
-    list comprehensions rather than a query language.
+    list comprehensions rather than a query language.  Memory is bounded by
+    ``capacity``; once full, the oldest records are recycled and counted in
+    :attr:`dropped_records`.
     """
 
-    def __init__(self) -> None:
-        self.records: List[TraceRecord] = []
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        self._ring = RingRecorder(capacity)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum records retained."""
+        return self._ring.capacity
+
+    @property
+    def dropped_records(self) -> int:
+        """Records recycled because the trace was full."""
+        return self._ring.dropped
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """The retained records, oldest first."""
+        return self._ring.items()
 
     def log(self, time: float, event: str, src: str, dst: str, size: int, **info) -> None:
         """Append one event to the trace."""
-        self.records.append(TraceRecord(time, event, src, dst, size, dict(info)))
+        self._ring.append(TraceRecord(time, event, src, dst, size, dict(info)))
 
     def events(self, kind: Optional[str] = None) -> List[TraceRecord]:
-        """Return all records, optionally restricted to one event kind."""
+        """Return all retained records, optionally restricted to one event kind."""
         if kind is None:
-            return list(self.records)
-        return [r for r in self.records if r.event == kind]
+            return self._ring.items()
+        return [r for r in self._ring.items() if r.event == kind]
 
     def bytes_between(self, start: float, end: float, kind: str = "recv") -> int:
         """Total bytes for ``kind`` events with ``start <= time < end``."""
-        return sum(r.size for r in self.records if r.event == kind and start <= r.time < end)
+        return sum(
+            r.size for r in self._ring.items() if r.event == kind and start <= r.time < end
+        )
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._ring)
 
 
-class RateTracker:
+class RateTracker(FixedBinAccumulator):
     """Bin byte counts into fixed-width intervals and report rates.
 
     Used to reproduce the "Transmission Rate" and "Rate reported by CM"
-    series in Figures 8-10.
+    series in Figures 8-10.  A thin facade over
+    :class:`~repro.telemetry.recorders.FixedBinAccumulator`: same sparse
+    binning as the original implementation, but bounded at ``max_bins``
+    distinct bins.
     """
 
-    def __init__(self, bin_width: float = 0.5):
-        if bin_width <= 0:
-            raise ValueError("bin_width must be positive")
-        self.bin_width = bin_width
-        self._bins: Dict[int, int] = {}
+    def __init__(self, bin_width: float = 0.5, max_bins: int = DEFAULT_RATE_BINS):
+        super().__init__(bin_width=bin_width, max_bins=max_bins)
 
     def record(self, time: float, nbytes: int) -> None:
         """Account ``nbytes`` transmitted/observed at simulated ``time``."""
-        index = int(time // self.bin_width)
-        self._bins[index] = self._bins.get(index, 0) + nbytes
+        self.add(time, nbytes)
 
     def series(self) -> List[Tuple[float, float]]:
         """Return ``(bin_start_time, rate_bytes_per_second)`` points, sorted by time.
@@ -78,15 +122,8 @@ class RateTracker:
         Empty bins between the first and last observation are reported as
         zero so plots show stalls rather than interpolating over them.
         """
-        if not self._bins:
-            return []
-        lo = min(self._bins)
-        hi = max(self._bins)
-        out = []
-        for index in range(lo, hi + 1):
-            nbytes = self._bins.get(index, 0)
-            out.append((index * self.bin_width, nbytes / self.bin_width))
-        return out
+        width = self.bin_width
+        return [(start, total / width) for start, total in self.bin_series()]
 
     def mean_rate(self) -> float:
         """Average rate in bytes/second over the observed span."""

@@ -27,7 +27,7 @@ from ..netsim.engine import Simulator, Timer
 from ..netsim.node import Host
 from .legacy import LegacySimulator, LegacyTimer, legacy_dummynet_pair, unbatched_maybe_grant
 
-__all__ = ["BenchResult", "run_benchmarks", "write_report"]
+__all__ = ["BenchResult", "run_benchmarks", "write_report", "bench_telemetry_overhead"]
 
 
 @dataclass
@@ -319,9 +319,97 @@ def bench_scenario_build(builds: int, repeats: int) -> BenchResult:
         wall_s=wall,
         baseline_wall_s=base,
         notes=(
-            "dummynet_pair testbed: declarative ScenarioSpec compile (validate + registry + "
-            "wiring) vs the seed's hand-wired construction; ops = testbeds built"
+            "dummynet_pair testbed: declarative ScenarioSpec compile (memoized sealed "
+            "pair specs + content-keyed validation cache + wiring) vs the seed's "
+            "hand-wired construction; ops = testbeds built"
         ),
+    )
+
+
+# ====================================================================== #
+# Telemetry overhead: probes-off vs probes-on on one scenario            #
+# ====================================================================== #
+def bench_telemetry_overhead(duration: float, repeats: int) -> BenchResult:
+    """The unified telemetry layer's cost on a dumbbell bulk-transfer run.
+
+    The probes-off side runs the scenario with no telemetry block — every
+    probe slot stays ``None`` (the compiled no-op), which is the default
+    state of every experiment in the repository; its wall clock should sit
+    within noise of the pre-telemetry code (cross-check the unchanged
+    ``figure3_scenario`` row against BENCH_PR3.json for the regression
+    story).  The probes-on side attaches the full catalog: all event probes
+    recorded into a bounded ring plus every periodic sampler at 100 ms.
+    The ``speedup`` column therefore reads as the *overhead factor* of
+    probes-on over probes-off (>1 = instrumentation costs that much).
+    """
+    from ..scenario.runner import run as run_scenario
+    from ..scenario.spec import (
+        AppSpec,
+        DumbbellSpec,
+        ScenarioSpec,
+        StopSpec,
+        TelemetrySpec,
+    )
+    from ..telemetry.probes import EVENT_NAMES
+
+    def spec_for(telemetry) -> ScenarioSpec:
+        apps = []
+        for index in range(2):
+            apps.append(AppSpec(app="tcp_listener", host=f"receiver{index}",
+                                label=f"listener{index}", params={"port": 5001}))
+            apps.append(AppSpec(
+                app="tcp_sender", host=f"sender{index}", peer=f"receiver{index}",
+                label=f"flow{index}",
+                params={"variant": "cm", "port": 5001, "transfer_bytes": 50_000_000,
+                        "receive_window": 128 * 1024},
+            ))
+        return ScenarioSpec(
+            name="bench_telemetry",
+            dumbbell=DumbbellSpec(n_pairs=2, bottleneck_bps=8e6, bottleneck_delay=0.010,
+                                  queue_limit=40, cm_senders=(0, 1)),
+            apps=apps,
+            stop=StopSpec(until=duration),
+            telemetry=telemetry,
+            metrics=("links",),
+            seed=3,
+        )
+
+    probes_on_spec = spec_for(TelemetrySpec(
+        sample_interval=0.1,
+        samplers=("macroflows", "schedulers", "links", "apps"),
+        events=EVENT_NAMES,
+    ))
+    probes_off_spec = spec_for(None)
+    delivered = [0]
+
+    def one_run(spec) -> float:
+        start = time.perf_counter()
+        result = run_scenario(spec, seed=3)
+        elapsed = time.perf_counter() - start
+        delivered[0] = sum(entry["delivered_packets"] for entry in result.links)
+        return elapsed
+
+    wall, base = _best_of_pair(
+        lambda: one_run(probes_off_spec),
+        lambda: one_run(probes_on_spec),
+        repeats,
+    )
+    return BenchResult(
+        name="telemetry_overhead",
+        ops=delivered[0],
+        wall_s=wall,
+        baseline_wall_s=base,
+        notes=(
+            f"dumbbell bulk scenario, {duration:.0f}s simulated: probes-off (no telemetry "
+            "block, every probe slot a compiled no-op) vs probes-on (all event probes + "
+            "all samplers at 100 ms); 'speedup' = probes-on wall / probes-off wall, i.e. "
+            "the instrumentation overhead factor; ops = packets delivered"
+        ),
+        extra={
+            "probes_off_wall_s": wall,
+            "probes_on_wall_s": base,
+            "overhead_ratio": base / wall if wall > 0 else 0.0,
+        },
     )
 
 
@@ -364,16 +452,16 @@ def bench_experiments_parallel(
 # ====================================================================== #
 #: Workload sizes: (event_churn_n, timer_restart_n, grant_flows,
 #: grant_requests_per_flow, figure3_bytes, parallel_seeds,
-#: parallel_transfer_bytes, scenario_builds, repeats)
-_FULL = (200_000, 200_000, 64, 256, 500_000, 8, 200_000, 2_000, 5)
-_QUICK = (30_000, 30_000, 32, 64, 100_000, 4, 60_000, 400, 3)
+#: parallel_transfer_bytes, scenario_builds, telemetry_duration, repeats)
+_FULL = (200_000, 200_000, 64, 256, 500_000, 8, 200_000, 2_000, 10.0, 5)
+_QUICK = (30_000, 30_000, 32, 64, 100_000, 4, 60_000, 400, 4.0, 3)
 
 
 def run_benchmarks(quick: bool = False, label: str = "BENCH_PR1") -> dict:
     """Run every benchmark and return the JSON-ready report dict."""
     sizes = _QUICK if quick else _FULL
     (churn_n, timer_n, grant_flows, grant_reqs, fig3_bytes, par_seeds, par_bytes,
-     scenario_builds, repeats) = sizes
+     scenario_builds, telemetry_duration, repeats) = sizes
     pool_jobs = max(2, min(4, os.cpu_count() or 1))
     results = [
         bench_event_churn(churn_n, repeats),
@@ -381,6 +469,7 @@ def run_benchmarks(quick: bool = False, label: str = "BENCH_PR1") -> dict:
         bench_grant_dispatch(grant_flows, grant_reqs, repeats),
         bench_figure3_scenario(fig3_bytes, repeats),
         bench_scenario_build(scenario_builds, repeats),
+        bench_telemetry_overhead(telemetry_duration, repeats),
         bench_experiments_parallel(par_seeds, par_bytes, pool_jobs, min(repeats, 2)),
     ]
     return {

@@ -40,7 +40,9 @@ from .spec import (
     ScenarioSpec,
     SpecError,
     StopSpec,
+    TelemetrySpec,
 )
+from .telemetry import ScenarioTelemetry
 
 __all__ = [
     "ScenarioSpec",
@@ -49,6 +51,8 @@ __all__ = [
     "DumbbellSpec",
     "AppSpec",
     "StopSpec",
+    "TelemetrySpec",
+    "ScenarioTelemetry",
     "SpecError",
     "Application",
     "Param",

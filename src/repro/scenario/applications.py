@@ -36,7 +36,7 @@ from ..netsim.node import Host
 from ..netsim.packet import DEFAULT_MSS
 from ..transport.tcp import CMTCPSender, RenoTCPSender, TCPListener
 from ..transport.udp.feedback import AckReflector
-from .spec import AppSpec, SpecError
+from .spec import AppSpec, SpecError, _kv
 
 __all__ = [
     "Param",
@@ -68,9 +68,35 @@ def _coerced(value: Any, param: Param) -> Any:
     return value
 
 
+#: Memo of successful schema walks, keyed by (app class, frozen params).
+#: The key includes the class object itself, so re-registering a different
+#: class under the same name can never serve stale defaults.
+_PARAMS_CACHE: Dict[tuple, Dict[str, Any]] = {}
+_PARAMS_CACHE_MAX = 1024
+
+
 def validate_params(app_name: str, params: Dict[str, Any], path: str = "params") -> Dict[str, Any]:
     """Validate ``params`` against the app's schema; return defaults-applied dict."""
     app_cls = get_application(app_name)
+    try:
+        key = (app_cls, tuple(sorted((name, _kv(value)) for name, value in params.items())))
+    except TypeError:
+        key = None  # unhashable value; the schema walk below will name it
+    if key is not None:
+        cached = _PARAMS_CACHE.get(key)
+        if cached is not None:
+            return dict(cached)
+    normalized = _validate_params_walk(app_cls, app_name, params, path)
+    if key is not None:
+        if len(_PARAMS_CACHE) >= _PARAMS_CACHE_MAX:
+            _PARAMS_CACHE.clear()
+        _PARAMS_CACHE[key] = dict(normalized)
+    return normalized
+
+
+def _validate_params_walk(app_cls: type, app_name: str, params: Dict[str, Any],
+                          path: str) -> Dict[str, Any]:
+    """The full schema walk behind :func:`validate_params`."""
     schema = app_cls.PARAMS
     unknown = sorted(set(params) - set(schema))
     if unknown:
@@ -145,6 +171,21 @@ class Application:
     def metrics(self) -> Dict[str, Any]:
         """Flat, JSON-able measurements for the scenario result."""
         return {}
+
+    # ------------------------------------------------------------- telemetry
+    def attach_telemetry(self, hub) -> None:
+        """Bind this workload's probe slots to a telemetry hub (no-op by
+        default; instrumented workloads override)."""
+
+    def telemetry_sample(self) -> Optional[Dict[str, float]]:
+        """Numeric state for the periodic ``apps`` sampler, or ``None``.
+
+        Returning a dict opts the application into per-tick sampling; the
+        keys become ``app.<label>.<key>`` series in the scenario result.
+        Implementations must be pure reads — sampling may never perturb the
+        workload.
+        """
+        return None
 
 
 APPLICATIONS: Dict[str, Type[Application]] = {}
@@ -262,6 +303,15 @@ class TcpSenderApp(Application):
     def stop(self) -> None:
         self.sender.close()
 
+    def attach_telemetry(self, hub) -> None:
+        self.sender.attach_telemetry(hub)
+
+    def telemetry_sample(self) -> Dict[str, float]:
+        return {
+            "bytes_acked": float(self.sender.bytes_acked),
+            "goodput_Bps": self.sender.throughput(),
+        }
+
     def metrics(self) -> Dict[str, Any]:
         sender = self.sender
         duration = None
@@ -350,6 +400,12 @@ class BulkApp(Application):
     def stop(self) -> None:
         self.app.close()
 
+    def attach_telemetry(self, hub) -> None:
+        self.app.sender.attach_telemetry(hub)
+
+    def telemetry_sample(self) -> Dict[str, float]:
+        return {"bytes_acked": float(self.app.sender.bytes_acked)}
+
     def metrics(self) -> Dict[str, Any]:
         from dataclasses import asdict
 
@@ -413,6 +469,11 @@ class WebClientApp(Application):
     def stop(self) -> None:
         self.client.close()
 
+    def telemetry_sample(self) -> Dict[str, float]:
+        return {
+            "requests_completed": float(sum(1 for f in self.client.fetches if f.done)),
+        }
+
     def metrics(self) -> Dict[str, Any]:
         # Undone fetches report null, not NaN: NaN would make the result's
         # canonical JSON unparseable by strict parsers.
@@ -462,6 +523,12 @@ class VatApp(Application):
 
     def stop(self) -> None:
         self.app.stop()
+
+    def telemetry_sample(self) -> Dict[str, float]:
+        return {
+            "frames_sent": float(self.app.frames_sent),
+            "frames_acked": float(self.app.frames_acked),
+        }
 
     def metrics(self) -> Dict[str, Any]:
         app = self.app
@@ -527,6 +594,15 @@ class LayeredStreamingApp(Application):
         self._poll_event = None
         self.server.stop()
 
+    def attach_telemetry(self, hub) -> None:
+        self.server.attach_telemetry(hub)
+
+    def telemetry_sample(self) -> Dict[str, float]:
+        return {
+            "bytes_sent": float(self.server.bytes_sent),
+            "layer": float(self.server.current_layer),
+        }
+
     def metrics(self) -> Dict[str, Any]:
         from ..analysis import oscillation_count
 
@@ -575,6 +651,9 @@ class UdpApiApp(Application):
 
     def done(self) -> Optional[bool]:
         return self.app.done
+
+    def telemetry_sample(self) -> Dict[str, float]:
+        return {"packets_acked": float(self.app.packets_acked)}
 
     def metrics(self) -> Dict[str, Any]:
         return {
@@ -625,6 +704,12 @@ class TcpApiApp(Application):
 
     def stop(self) -> None:
         self.app.close()
+
+    def attach_telemetry(self, hub) -> None:
+        self.app.sender.attach_telemetry(hub)
+
+    def telemetry_sample(self) -> Dict[str, float]:
+        return {"bytes_acked": float(self.app.sender.bytes_acked)}
 
     def metrics(self) -> Dict[str, Any]:
         sender = self.app.sender

@@ -34,6 +34,7 @@ from ..hostmodel import HostCosts
 from ..netsim import Channel, Dumbbell, Host, Simulator, build_dumbbell
 from .applications import Application, get_application
 from .spec import HostSpec, ScenarioSpec, SpecError, default_addr
+from .telemetry import ScenarioTelemetry
 
 __all__ = ["Scenario", "build"]
 
@@ -59,6 +60,10 @@ class Scenario:
     channels: Dict[Tuple[str, str], Channel] = field(default_factory=dict)
     dumbbell: Optional[Dumbbell] = None
     apps: List[Application] = field(default_factory=list)
+    #: Telemetry wiring, present when the spec has a ``telemetry:`` block or
+    #: the caller asked for a trace file; ``None`` means every probe slot in
+    #: the simulation stays a compiled no-op.
+    telemetry: Optional[ScenarioTelemetry] = None
 
     def host(self, name: str) -> Host:
         """Look up a host by spec name."""
@@ -77,11 +82,15 @@ def _attach_cm(host: Host, host_spec: HostSpec) -> CongestionManager:
     )
 
 
-def build(spec: ScenarioSpec, seed: Optional[int] = None) -> Scenario:
+def build(spec: ScenarioSpec, seed: Optional[int] = None,
+          trace_path: Optional[str] = None) -> Scenario:
     """Validate ``spec`` and wire the simulation it describes.
 
     ``seed`` overrides ``spec.seed``; it feeds every link's loss RNG (offset
-    per link) so a multi-seed sweep re-uses one spec.
+    per link) so a multi-seed sweep re-uses one spec.  ``trace_path``
+    additionally streams every telemetry event and sample to a JSON-lines
+    file (attaching probes even when the spec carries no telemetry block —
+    the result payload is unaffected in that case).
     """
     spec.validate()
     run_seed = spec.seed if seed is None else int(seed)
@@ -156,4 +165,13 @@ def build(spec: ScenarioSpec, seed: Optional[int] = None) -> Scenario:
         if not app_spec.label:
             app.label = f"{app_spec.app}[{index}]"
         scenario.apps.append(app)
+
+    if spec.telemetry is not None or trace_path is not None:
+        # Subscribing sinks happens inside ScenarioTelemetry *before*
+        # attach() binds any probe slot — the hub's dispatch table is read
+        # once per slot, at attach time.
+        scenario.telemetry = ScenarioTelemetry(
+            spec.telemetry, run_seed, sim, trace_path=trace_path
+        )
+        scenario.telemetry.attach(scenario)
     return scenario

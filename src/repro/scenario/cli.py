@@ -89,8 +89,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.json_dir:
         os.makedirs(args.json_dir, exist_ok=True)
     for seed in seeds:
+        trace_path = None
+        if args.trace:
+            trace_path = args.trace if len(seeds) == 1 else _per_seed_path(args.trace, seed)
         try:
-            result = run(spec, seed=seed)
+            result = run(spec, seed=seed, trace_path=trace_path)
         except SpecError as exc:
             # Some constraints (e.g. an app that needs a CM on its host) are
             # only checkable while wiring the scenario; report them exactly
@@ -99,12 +102,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         if not args.quiet:
             _print_result(result)
+        if trace_path:
+            print(f"(wrote telemetry trace {trace_path})", file=sys.stderr)
         if args.json_dir:
             path = os.path.join(args.json_dir, f"{result.name}.seed{seed}.json")
             with open(path, "w", encoding="utf-8") as handle:
                 handle.write(result.to_json())
             print(f"(wrote {path})", file=sys.stderr)
     return 0
+
+
+def _per_seed_path(path: str, seed: int) -> str:
+    """Insert ``.seed<k>`` before the extension for multi-seed trace files."""
+    root, ext = os.path.splitext(path)
+    return f"{root}.seed{seed}{ext or '.jsonl'}"
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -170,6 +181,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="run seeds 1..N (overrides --seed)")
     run_parser.add_argument("--json-dir", default=None, metavar="DIR",
                             help="write <name>.seed<k>.json result files to DIR")
+    run_parser.add_argument("--trace", default=None, metavar="FILE",
+                            help="stream telemetry events + samples to a JSON-lines file "
+                                 "(multi-seed runs write FILE with a .seed<k> infix)")
     run_parser.add_argument("--quiet", action="store_true", help="suppress the text summary")
     run_parser.set_defaults(func=_cmd_run)
 

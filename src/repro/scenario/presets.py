@@ -21,13 +21,19 @@ hand-wired testbeds never could:
     The layered media server with the libcm event loop in ``poll`` versus
     ``select`` mode — the API-integration sweep, with the libcm syscall
     counters in the result showing what each mode costs.
+``dumbbell_bulk``
+    Two TCP/CM transfers over a shared dumbbell bottleneck with the
+    telemetry layer sampling cwnd / CM rate / queue depth over time — the
+    paper-style time-series evidence (cwnd and rate evolution, queue
+    occupancy) as a single runnable spec; the ``timeseries`` experiment
+    reproduces its figures through the parallel runner.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from .spec import AppSpec, HostSpec, LinkSpec, ScenarioSpec, StopSpec
+from .spec import AppSpec, DumbbellSpec, HostSpec, LinkSpec, ScenarioSpec, StopSpec, TelemetrySpec
 
 __all__ = ["PRESETS", "get_preset", "preset_names"]
 
@@ -153,6 +159,45 @@ def _libcm_streaming(libcm_mode: str) -> ScenarioSpec:
     )
 
 
+def dumbbell_bulk() -> ScenarioSpec:
+    """Two staggered TCP/CM transfers on a shared dumbbell, telemetry on."""
+    apps: List[AppSpec] = []
+    for index in range(2):
+        apps.append(AppSpec(app="tcp_listener", host=f"receiver{index}",
+                            label=f"listener{index}", params={"port": 5001}))
+        apps.append(AppSpec(
+            app="tcp_sender", host=f"sender{index}", peer=f"receiver{index}",
+            label=f"flow{index}",
+            params={"variant": "cm", "port": 5001, "transfer_bytes": 4_000_000,
+                    "receive_window": 256 * 1024, "start_at": float(2 * index)},
+        ))
+    return ScenarioSpec(
+        name="dumbbell_bulk",
+        description=(
+            "Two TCP/CM transfers (second starts 2 s late) sharing an 8 Mbps / "
+            "20 ms dumbbell bottleneck; the telemetry block samples per-macroflow "
+            "cwnd/rate/loss, bottleneck queue depth and per-flow goodput every "
+            "250 ms — the paper-style convergence time series."
+        ),
+        dumbbell=DumbbellSpec(
+            n_pairs=2,
+            bottleneck_bps=8e6,
+            bottleneck_delay=0.010,
+            queue_limit=40,
+            cm_senders=(0, 1),
+        ),
+        apps=apps,
+        stop=StopSpec(until=20.0, when_apps_done=True),
+        telemetry=TelemetrySpec(
+            sample_interval=0.25,
+            samplers=("macroflows", "schedulers", "links", "apps"),
+            events=("cm.congestion", "packet.drop"),
+        ),
+        metrics=("apps", "links"),
+        seed=3,
+    )
+
+
 def libcm_poll_streaming() -> ScenarioSpec:
     """Layered streaming with the application polling libcm from a timer loop."""
     return _libcm_streaming("poll")
@@ -169,6 +214,7 @@ PRESETS: Dict[str, Callable[[], ScenarioSpec]] = {
     "ecn_vs_loss": ecn_vs_loss,
     "libcm_poll_streaming": libcm_poll_streaming,
     "libcm_select_streaming": libcm_select_streaming,
+    "dumbbell_bulk": dumbbell_bulk,
 }
 
 

@@ -37,10 +37,18 @@ class ScenarioResult:
     apps: List[Dict[str, Any]] = field(default_factory=list)
     links: List[Dict[str, Any]] = field(default_factory=list)
     hosts: List[Dict[str, Any]] = field(default_factory=list)
+    #: Deterministic per-probe time series and event counts, populated only
+    #: when the spec carries a ``telemetry:`` block (see docs/telemetry.md).
+    telemetry: Dict[str, Any] = field(default_factory=dict)
 
     def payload(self) -> Dict[str, Any]:
-        """The deterministic JSON-able content of the result."""
-        return {
+        """The deterministic JSON-able content of the result.
+
+        The ``telemetry`` key appears only when a telemetry block produced
+        data, so results of telemetry-detached runs render byte-identically
+        to pre-telemetry results.
+        """
+        payload = {
             "name": self.name,
             "seed": self.seed,
             "spec_digest": self.spec_digest,
@@ -49,6 +57,18 @@ class ScenarioResult:
             "links": [dict(entry) for entry in self.links],
             "hosts": [dict(entry) for entry in self.hosts],
         }
+        if self.telemetry:
+            payload["telemetry"] = dict(self.telemetry)
+        return payload
+
+    def sample_series(self, name: str) -> List[List[float]]:
+        """Look up one sampled telemetry series (``[[time, value], ...]``)."""
+        samples = self.telemetry.get("samples", {})
+        if name not in samples:
+            raise KeyError(
+                f"no sampled series {name!r}; have {sorted(samples)}"
+            )
+        return samples[name]
 
     def to_json(self) -> str:
         """Canonical JSON: sorted keys, 2-space indent, one trailing newline.
@@ -158,6 +178,9 @@ def _collect(scenario: Scenario, duration: float) -> ScenarioResult:
                 entry["cpu_utilization"] = costs.utilization(duration) if duration > 0 else 0.0
                 entry["cpu_by_category_us"] = dict(sorted(costs.ledger.snapshot().items()))
             result.hosts.append(entry)
+    telemetry = scenario.telemetry
+    if telemetry is not None and telemetry.in_result:
+        result.telemetry = telemetry.payload()
     return result
 
 
@@ -174,6 +197,11 @@ def run_built(scenario: Scenario) -> ScenarioResult:
                 sim.schedule(when, channel.set_rate, rate_bps)
             else:
                 channel.set_rate(rate_bps)
+
+    if scenario.telemetry is not None:
+        # First sample at t=start (apps are constructed, flows opened);
+        # sampling only reads state, so probes-on cannot perturb the run.
+        scenario.telemetry.start()
 
     for app in scenario.apps:
         app.start()
@@ -193,11 +221,22 @@ def run_built(scenario: Scenario) -> ScenarioResult:
     else:
         sim.run(until=horizon)
 
+    if scenario.telemetry is not None:
+        scenario.telemetry.stop()
     for app in scenario.apps:
         app.stop()
-    return _collect(scenario, duration=sim.now - start)
+    result = _collect(scenario, duration=sim.now - start)
+    if scenario.telemetry is not None:
+        scenario.telemetry.close()
+    return result
 
 
-def run(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResult:
-    """Compile and execute ``spec``; deterministic per ``(spec, seed)``."""
-    return run_built(build(spec, seed=seed))
+def run(spec: ScenarioSpec, seed: Optional[int] = None,
+        trace_path: Optional[str] = None) -> ScenarioResult:
+    """Compile and execute ``spec``; deterministic per ``(spec, seed)``.
+
+    ``trace_path`` streams every telemetry event and periodic sample to a
+    JSON-lines file (byte-identical per ``(spec, seed)``) without touching
+    the result payload of specs that carry no telemetry block.
+    """
+    return run_built(build(spec, seed=seed, trace_path=trace_path))

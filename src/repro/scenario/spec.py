@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type, TypeVar
+from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple, Type, TypeVar
 
 __all__ = [
     "SpecError",
@@ -38,10 +38,12 @@ __all__ = [
     "DumbbellSpec",
     "AppSpec",
     "StopSpec",
+    "TelemetrySpec",
     "ScenarioSpec",
     "CM_CONTROLLERS",
     "CM_SCHEDULERS",
     "METRIC_GROUPS",
+    "TELEMETRY_EVENT_RECORDERS",
 ]
 
 #: Congestion-controller choices for CM-enabled hosts (see ``repro.core.congestion``).
@@ -52,6 +54,9 @@ CM_SCHEDULERS: Tuple[str, ...] = ("round_robin", "weighted")
 
 #: Metric groups the runner knows how to collect.
 METRIC_GROUPS: Tuple[str, ...] = ("apps", "links", "hosts")
+
+#: Bounded recorder shapes a telemetry block may route events into.
+TELEMETRY_EVENT_RECORDERS: Tuple[str, ...] = ("ring", "reservoir")
 
 
 class SpecError(ValueError):
@@ -75,12 +80,25 @@ def default_addr(index: int) -> str:
 
 _T = TypeVar("_T")
 
+#: Per-class field-name cache: ``dataclasses.fields`` walks descriptors on
+#: every call, which is measurable on the per-trial ``from_dict``/validate
+#: paths; field sets never change after class definition.
+_FIELD_NAMES: Dict[type, frozenset] = {}
+
+
+def _field_names(cls: type) -> frozenset:
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = frozenset(f.name for f in dataclasses.fields(cls))
+        _FIELD_NAMES[cls] = names
+    return names
+
 
 def _reject_unknown_keys(cls: type, data: Mapping[str, Any], path: str) -> None:
     """Raise a path-qualified SpecError for keys no field of ``cls`` matches."""
     if not isinstance(data, Mapping):
         raise SpecError(path, f"expected a mapping for {cls.__name__}, got {type(data).__name__}")
-    known = {f.name for f in dataclasses.fields(cls)}
+    known = _field_names(cls)
     unknown = sorted(set(data) - known)
     if unknown:
         raise SpecError(
@@ -111,6 +129,28 @@ def _check_number(value: Any, path: str, minimum: Optional[float] = None,
         _require(value <= maximum, path, f"must be <= {maximum}, got {value!r}")
 
 
+# ---------------------------------------------------------------------- keys
+# Validation is memoized by spec *content* (see ScenarioSpec.validate): two
+# specs with equal keys pass or fail identically, so re-walking the checks
+# per trial is pure overhead.  ``_kv`` makes the key atoms collision-proof
+# against Python's cross-type equalities (``True == 1``, ``1 == 1.0``):
+# validation treats bools, ints and floats differently (int-only fields
+# reject floats, number fields reject bools), so none of them may share a
+# cache slot with another type.
+_TRUE_KEY = ("bool", True)
+_FALSE_KEY = ("bool", False)
+
+
+def _kv(value: Any) -> Any:
+    if value is True:
+        return _TRUE_KEY
+    if value is False:
+        return _FALSE_KEY
+    if value.__class__ is float:
+        return ("float", value)
+    return value
+
+
 @dataclass
 class HostSpec:
     """One end system.
@@ -138,6 +178,10 @@ class HostSpec:
                  f"unknown controller {self.cm_controller!r}; choose from {', '.join(CM_CONTROLLERS)}")
         _require(self.cm_scheduler in CM_SCHEDULERS, f"{path}.cm_scheduler",
                  f"unknown scheduler {self.cm_scheduler!r}; choose from {', '.join(CM_SCHEDULERS)}")
+
+    def _key(self) -> tuple:
+        return (self.name, self.addr, _kv(self.costs), _kv(self.cm),
+                self.cm_controller, self.cm_scheduler)
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -205,6 +249,12 @@ class LinkSpec:
             _require(step[0] > last, step_path, "step times must be strictly increasing")
             last = step[0]
 
+    def _key(self) -> tuple:
+        return (self.a, self.b, _kv(self.rate_bps), _kv(self.delay),
+                _kv(self.queue_limit), _kv(self.loss_rate), _kv(self.reverse_loss_rate),
+                _kv(self.ecn_threshold), _kv(self.seed_offset),
+                tuple(tuple(_kv(v) for v in step) for step in self.rate_schedule))
+
     def to_dict(self) -> Dict[str, Any]:
         payload = dataclasses.asdict(self)
         payload["rate_schedule"] = [list(step) for step in self.rate_schedule]
@@ -255,6 +305,12 @@ class DumbbellSpec:
         for index in self.cm_senders:
             _require(0 <= index < self.n_pairs, f"{path}.cm_senders",
                      f"sender index {index} out of range 0..{self.n_pairs - 1}")
+
+    def _key(self) -> tuple:
+        return (_kv(self.n_pairs), _kv(self.bottleneck_bps), _kv(self.bottleneck_delay),
+                _kv(self.access_bps), _kv(self.access_delay), _kv(self.queue_limit),
+                _kv(self.loss_rate), _kv(self.ecn_threshold), _kv(self.with_costs),
+                self.cm_senders)
 
     def to_dict(self) -> Dict[str, Any]:
         payload = dataclasses.asdict(self)
@@ -317,8 +373,23 @@ class AppSpec:
         self._normalized_params = normalized
         return normalized
 
+    def _key(self) -> tuple:
+        # The registered class object joins the key so re-registering a
+        # different application under the same name can never serve stale
+        # cached validations (mirrors _PARAMS_CACHE in applications.py).
+        from .applications import APPLICATIONS
+
+        return (self.app, APPLICATIONS.get(self.app), self.host, self.peer, self.label,
+                tuple(sorted((name, _kv(value)) for name, value in self.params.items())))
+
     def to_dict(self) -> Dict[str, Any]:
-        return dataclasses.asdict(self)
+        return {
+            "app": self.app,
+            "host": self.host,
+            "peer": self.peer,
+            "label": self.label,
+            "params": dict(self.params),
+        }
 
 
 @dataclass
@@ -340,8 +411,102 @@ class StopSpec:
         _check_number(self.check_interval, f"{path}.check_interval", minimum=1e-9)
         _require(isinstance(self.when_apps_done, bool), f"{path}.when_apps_done", "must be a boolean")
 
+    def _key(self) -> tuple:
+        return (_kv(self.until), _kv(self.when_apps_done), _kv(self.check_interval))
+
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
+
+
+@dataclass
+class TelemetrySpec:
+    """What the unified telemetry layer records during the run.
+
+    ``samplers`` selects the periodic state samplers (driven by the event
+    engine every ``sample_interval`` simulated seconds):
+
+    * ``macroflows`` — per-macroflow cwnd, CM rate estimate, loss EWMA and
+      outstanding bytes;
+    * ``schedulers`` — per-macroflow scheduler backlog (pending requests);
+    * ``links`` — per-link queue depth;
+    * ``apps`` — whatever each application reports via
+      ``telemetry_sample()`` (goodput counters, current layer, ...).
+
+    ``events`` lists event probes (from the
+    :data:`repro.telemetry.probes.EVENTS` catalog) whose emissions are kept
+    in a bounded event log — a ring of the newest ``ring_capacity`` records
+    or, with ``event_recorder="reservoir"``, a seeded uniform sample of the
+    whole run.  Every recorder is bounded: ``max_samples`` caps each sampled
+    series, ``ring_capacity`` the event log.
+    """
+
+    sample_interval: float = 0.25
+    samplers: Tuple[str, ...] = ("macroflows", "links", "apps")
+    events: Tuple[str, ...] = ()
+    max_samples: int = 4096
+    ring_capacity: int = 4096
+    event_recorder: str = "ring"
+
+    def __post_init__(self) -> None:
+        self.samplers = tuple(self.samplers)
+        self.events = tuple(self.events)
+
+    def validate(self, path: str) -> None:
+        from ..telemetry.probes import EVENT_NAMES
+        from ..telemetry.samplers import SAMPLER_GROUPS
+
+        _check_number(self.sample_interval, f"{path}.sample_interval", minimum=1e-9)
+        for index, group in enumerate(self.samplers):
+            _require(group in SAMPLER_GROUPS, f"{path}.samplers[{index}]",
+                     f"unknown sampler group {group!r}; choose from {', '.join(SAMPLER_GROUPS)}")
+        for index, event in enumerate(self.events):
+            _require(event in EVENT_NAMES, f"{path}.events[{index}]",
+                     f"unknown telemetry event {event!r}; catalog: {', '.join(EVENT_NAMES)}")
+        _require(isinstance(self.max_samples, int) and self.max_samples >= 1,
+                 f"{path}.max_samples", f"must be an integer >= 1, got {self.max_samples!r}")
+        _require(isinstance(self.ring_capacity, int) and self.ring_capacity >= 1,
+                 f"{path}.ring_capacity", f"must be an integer >= 1, got {self.ring_capacity!r}")
+        _require(self.event_recorder in TELEMETRY_EVENT_RECORDERS, f"{path}.event_recorder",
+                 f"unknown event recorder {self.event_recorder!r}; "
+                 f"choose from {', '.join(TELEMETRY_EVENT_RECORDERS)}")
+
+    def _key(self) -> tuple:
+        return (_kv(self.sample_interval), self.samplers, self.events,
+                _kv(self.max_samples), _kv(self.ring_capacity), self.event_recorder)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        payload["samplers"] = list(self.samplers)
+        payload["events"] = list(self.events)
+        return payload
+
+
+#: Sealed (frozen) class variants, created lazily per spec class by
+#: :meth:`ScenarioSpec.seal`.
+_SEALED_VARIANTS: Dict[type, type] = {}
+
+
+def _sealed_setattr(self, name: str, value: Any) -> None:
+    raise SpecError(
+        "", f"{type(self).__name__} is shared and sealed; build a fresh spec instead of mutating"
+    )
+
+
+def _sealed_validate(self) -> "ScenarioSpec":
+    # Sealing proved the content valid and the class swap makes mutation
+    # impossible, so re-validation is a no-op (the per-trial fast path).
+    return self
+
+
+def _sealed_variant(cls: type) -> type:
+    sealed = _SEALED_VARIANTS.get(cls)
+    if sealed is None:
+        namespace: Dict[str, Any] = {"__setattr__": _sealed_setattr, "_is_sealed": True}
+        if cls is ScenarioSpec:
+            namespace["validate"] = _sealed_validate
+        sealed = type(f"Sealed{cls.__name__}", (cls,), namespace)
+        _SEALED_VARIANTS[cls] = sealed
+    return sealed
 
 
 @dataclass
@@ -355,8 +520,17 @@ class ScenarioSpec:
     dumbbell: Optional[DumbbellSpec] = None
     apps: List[AppSpec] = field(default_factory=list)
     stop: StopSpec = field(default_factory=StopSpec)
+    telemetry: Optional[TelemetrySpec] = None
     metrics: Tuple[str, ...] = ("apps",)
     seed: int = 0
+
+    #: Content-keyed memo of successful validations.  Two specs with equal
+    #: keys pass or fail identically (the key captures every validated
+    #: field, with bools disambiguated from numbers), so per-trial re-runs
+    #: of ``validate`` collapse to one dict probe; the stored value is the
+    #: defaults-applied params of each app, re-attached on a hit.
+    _VALIDATION_CACHE: ClassVar[Dict[tuple, Tuple[Dict[str, Any], ...]]] = {}
+    _VALIDATION_CACHE_MAX: ClassVar[int] = 512
 
     def __post_init__(self) -> None:
         self.metrics = tuple(self.metrics)
@@ -368,8 +542,37 @@ class ScenarioSpec:
             return self.dumbbell.host_names()
         return [host.name for host in self.hosts]
 
+    def _key(self) -> tuple:
+        dumbbell = self.dumbbell
+        telemetry = self.telemetry
+        return (self.name, self.description,
+                tuple(host._key() for host in self.hosts),
+                tuple(link._key() for link in self.links),
+                dumbbell._key() if dumbbell is not None else None,
+                tuple(app._key() for app in self.apps),
+                self.stop._key(),
+                telemetry._key() if telemetry is not None else None,
+                self.metrics, _kv(self.seed))
+
     def validate(self) -> "ScenarioSpec":
-        """Validate the whole tree eagerly; returns ``self`` for chaining."""
+        """Validate the whole tree eagerly; returns ``self`` for chaining.
+
+        Successful validations are memoized by content (see
+        ``_VALIDATION_CACHE``); an equal spec seen before skips straight to
+        re-attaching the cached defaults-applied app params.
+        """
+        cache = ScenarioSpec._VALIDATION_CACHE
+        try:
+            key = self._key()
+        except TypeError:
+            # Unhashable garbage in some field; the full walk will name it.
+            key = None
+        if key is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                for app, params in zip(self.apps, cached):
+                    app._normalized_params = dict(params)
+                return self
         _require(isinstance(self.name, str) and bool(self.name), "name",
                  "scenario name must be a non-empty string")
         _require(isinstance(self.seed, int), "seed", "must be an integer")
@@ -405,15 +608,49 @@ class ScenarioSpec:
                          "labels address app entries in the result, so they must be unique")
                 seen_labels[app.label] = index
         self.stop.validate("stop")
+        if self.telemetry is not None:
+            self.telemetry.validate("telemetry")
         for metric in self.metrics:
             _require(metric in METRIC_GROUPS, "metrics",
                      f"unknown metric group {metric!r}; choose from {', '.join(METRIC_GROUPS)}")
+        if key is not None:
+            if len(cache) >= ScenarioSpec._VALIDATION_CACHE_MAX:
+                cache.clear()
+            cache[key] = tuple(dict(app._normalized_params) for app in self.apps)
+        return self
+
+    def seal(self) -> "ScenarioSpec":
+        """Validate, then freeze this spec tree in place; returns ``self``.
+
+        Sealing swaps the spec and its children to ``Sealed*`` subclasses
+        whose ``__setattr__`` raises and whose root ``validate`` is a no-op
+        — the fast path for factories that hand one shared, immutable spec
+        to many trials (``repro.experiments.topology``).  Note that sealing
+        changes ``type(spec)``, so sealed and unsealed specs with equal
+        content compare unequal under the dataclass ``__eq__``.
+        """
+        if getattr(self, "_is_sealed", False):
+            return self
+        self.validate()
+        children: List[Any] = [*self.hosts, *self.links, *self.apps, self.stop]
+        if self.dumbbell is not None:
+            children.append(self.dumbbell)
+        if self.telemetry is not None:
+            children.append(self.telemetry)
+        for child in children:
+            child.__class__ = _sealed_variant(child.__class__)
+        self.__class__ = _sealed_variant(ScenarioSpec)
         return self
 
     # --------------------------------------------------------- serialisation
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-JSON rendering; ``from_dict(to_dict(spec))`` == ``spec``."""
-        return {
+        """Plain-JSON rendering; ``from_dict(to_dict(spec))`` == ``spec``.
+
+        The ``telemetry`` key is only present when a telemetry block is
+        configured, so specs without one render (and digest) exactly as
+        they did before the block existed.
+        """
+        payload = {
             "name": self.name,
             "description": self.description,
             "hosts": [host.to_dict() for host in self.hosts],
@@ -424,6 +661,9 @@ class ScenarioSpec:
             "metrics": list(self.metrics),
             "seed": self.seed,
         }
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
@@ -444,6 +684,9 @@ class ScenarioSpec:
                 for i, item in enumerate(payload.pop("apps", []) or [])]
         stop_data = payload.pop("stop", None)
         stop = _from_mapping(StopSpec, stop_data, "stop") if stop_data is not None else StopSpec()
+        telemetry_data = payload.pop("telemetry", None)
+        telemetry = (_from_mapping(TelemetrySpec, telemetry_data, "telemetry")
+                     if telemetry_data is not None else None)
         metrics_data = payload.pop("metrics", ("apps",))
         if not isinstance(metrics_data, (list, tuple)):
             # tuple("apps") would silently explode a string into characters.
@@ -459,6 +702,7 @@ class ScenarioSpec:
             dumbbell=dumbbell,
             apps=apps,
             stop=stop,
+            telemetry=telemetry,
             metrics=metrics,
             seed=payload.pop("seed", 0),
         )

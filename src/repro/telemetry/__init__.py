@@ -1,0 +1,56 @@
+"""Unified telemetry: pluggable probes + bounded recorders for every layer.
+
+The CM paper's evaluation is time-series evidence — cwnd and rate
+evolution, queue occupancy, per-flow convergence — and this package is the
+single instrumentation layer that produces it:
+
+* :mod:`~repro.telemetry.probes` — the event-probe dispatch table
+  (:class:`TelemetryHub`).  Instrumented sites in ``netsim.link``,
+  ``core.manager``/``core.macroflow``, ``transport.tcp.sender`` and
+  ``apps.layered`` hold probe slots that are ``None`` (a compiled no-op)
+  until a recorder subscribes.
+* :mod:`~repro.telemetry.recorders` — bounded storage: fixed-bin
+  accumulators, ring buffers, seeded reservoirs, capped series, and a
+  streaming JSON-lines sink.
+* :mod:`~repro.telemetry.samplers` — event-engine-driven periodic sampling
+  of CM-internal state (cwnd, rate, loss EWMA, scheduler backlog), link
+  queues and application goodput.
+
+The scenario layer wires all of this from a declarative ``telemetry:``
+block (see ``docs/telemetry.md``); nothing here imports from the layers it
+observes, so the dependency arrow always points *into* telemetry.
+"""
+
+from .probes import EVENT_NAMES, EVENTS, TelemetryHub
+from .recorders import (
+    FixedBinAccumulator,
+    JsonlSink,
+    ReservoirRecorder,
+    RingRecorder,
+    SeriesRecorder,
+)
+from .samplers import (
+    SAMPLER_GROUPS,
+    PeriodicSampler,
+    app_goodput_source,
+    cm_state_source,
+    link_queue_source,
+    scheduler_backlog_source,
+)
+
+__all__ = [
+    "EVENTS",
+    "EVENT_NAMES",
+    "TelemetryHub",
+    "FixedBinAccumulator",
+    "RingRecorder",
+    "ReservoirRecorder",
+    "SeriesRecorder",
+    "JsonlSink",
+    "SAMPLER_GROUPS",
+    "PeriodicSampler",
+    "cm_state_source",
+    "scheduler_backlog_source",
+    "link_queue_source",
+    "app_goodput_source",
+]

@@ -1,0 +1,116 @@
+"""Event probes: the dispatch table between instrumented code and recorders.
+
+The hot paths of the simulation (per-packet link operations, per-MTU CM
+grants) cannot afford an observability layer that costs anything when it is
+not in use.  The contract here is the *compiled no-op*:
+
+* every instrumented site holds a probe slot (an instance attribute) that
+  is ``None`` by default;
+* :meth:`TelemetryHub.probe` returns ``None`` when **no recorder is
+  subscribed** to that event, so attaching a hub with no interest in
+  ``packet.deliver`` leaves the link's deliver path exactly as cheap as no
+  hub at all;
+* the emitting code guards with ``if probe is not None`` — one local/slot
+  load and an identity test, the cheapest conditional Python can express.
+
+When a recorder *is* subscribed, ``probe(event)`` compiles a dispatch
+closure over the subscriber list (single-subscriber case unrolled) that
+counts the emission and fans the ``(event, time, fields)`` record out.
+
+Binding order contract: subscribe every sink **before** handing the hub to
+the components (``Link.attach_telemetry`` and friends read the dispatch
+table once, at attach time).  The scenario builder follows this order; code
+wiring a hub by hand must too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["EVENTS", "EVENT_NAMES", "TelemetryHub", "Sink"]
+
+#: Everything an instrumented site may emit — the probe catalog.  The
+#: scenario spec validates ``telemetry.events`` entries against this table
+#: and ``docs/telemetry.md`` documents each event's fields.
+EVENTS: Dict[str, str] = {
+    "packet.enqueue": "a link accepted a packet into its queue",
+    "packet.drop": "a link dropped a packet (fields carry the reason)",
+    "packet.deliver": "a link delivered a packet to the far end",
+    "cm.grant": "the CM granted one MTU of transmission to a flow",
+    "cm.congestion": "a macroflow's controller reacted to a congestion signal",
+    "tcp.transmit": "a TCP sender emitted a data segment",
+    "app.chunk": "an application transmitted one media/application chunk",
+}
+
+#: The catalog's names in a stable order (used for "subscribe to all").
+EVENT_NAMES: Tuple[str, ...] = tuple(EVENTS)
+
+#: A sink consumes ``(event, time, fields)`` records.
+Sink = Callable[[str, float, Dict[str, Any]], None]
+
+
+class TelemetryHub:
+    """Routes probe emissions to subscribed sinks and counts them.
+
+    The hub is deliberately tiny: a dispatch table (event name -> sinks), a
+    per-event emission counter, and the :meth:`probe` compiler that turns
+    the table into either ``None`` (no-op) or a closure.
+    """
+
+    def __init__(self) -> None:
+        self._sinks: Dict[str, List[Sink]] = {}
+        #: Emissions per event name (only events with subscribers count —
+        #: an unsubscribed probe site compiles to nothing at all).
+        self.counts: Dict[str, int] = {}
+
+    def subscribe(self, event: str, sink: Sink) -> None:
+        """Attach ``sink`` to one event from the catalog."""
+        if event not in EVENTS:
+            raise ValueError(
+                f"unknown telemetry event {event!r}; catalog: {', '.join(EVENT_NAMES)}"
+            )
+        self._sinks.setdefault(event, []).append(sink)
+        self.counts.setdefault(event, 0)
+
+    def subscribe_all(self, sink: Sink) -> None:
+        """Attach ``sink`` to every event in the catalog."""
+        for event in EVENT_NAMES:
+            self.subscribe(event, sink)
+
+    def subscribed_events(self) -> Tuple[str, ...]:
+        """Events with at least one sink, in catalog order."""
+        return tuple(event for event in EVENT_NAMES if self._sinks.get(event))
+
+    def probe(self, event: str) -> Optional[Callable[[float, Dict[str, Any]], None]]:
+        """Compile the emit callable for ``event`` — or ``None`` (the no-op).
+
+        Instrumented sites call this once at attach time and keep the
+        result in a slot; a ``None`` means the site's fast path stays an
+        ``is not None`` test with zero calls.
+        """
+        if event not in EVENTS:
+            raise ValueError(
+                f"unknown telemetry event {event!r}; catalog: {', '.join(EVENT_NAMES)}"
+            )
+        sinks = self._sinks.get(event)
+        if not sinks:
+            return None
+        counts = self.counts
+        if len(sinks) == 1:
+            sink = sinks[0]
+
+            def emit(time: float, fields: Dict[str, Any],
+                     _event: str = event, _sink: Sink = sink) -> None:
+                counts[_event] += 1
+                _sink(_event, time, fields)
+
+            return emit
+        fanout = tuple(sinks)
+
+        def emit_many(time: float, fields: Dict[str, Any],
+                      _event: str = event, _sinks: Tuple[Sink, ...] = fanout) -> None:
+            counts[_event] += 1
+            for sink in _sinks:
+                sink(_event, time, fields)
+
+        return emit_many

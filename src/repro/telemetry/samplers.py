@@ -1,0 +1,199 @@
+"""Periodic samplers: CM-internal and per-layer state as time series.
+
+Event probes capture *what happened*; the samplers here capture *what the
+state was* — congestion window, CM rate estimate, loss EWMA, scheduler
+backlog, link queue depth, application goodput — on a fixed simulated-time
+cadence, driven by the same event engine as everything else.
+
+A :class:`PeriodicSampler` owns one :class:`~repro.telemetry.recorders.SeriesRecorder`
+per series name, created lazily so dynamic state (macroflows appearing when
+a web server answers its first request) simply starts a new series at the
+tick where it first exists.  Source callables receive ``(now, record)`` and
+push zero or more ``record(series_name, value)`` observations per tick.
+
+Samplers only *read* simulation state.  That is a hard rule: it is what
+makes a probes-on run produce byte-identical application/link/host metrics
+to a probes-off run (the CI telemetry-determinism job checks exactly this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .recorders import JsonlSink, SeriesRecorder
+
+__all__ = [
+    "SAMPLER_GROUPS",
+    "PeriodicSampler",
+    "cm_state_source",
+    "scheduler_backlog_source",
+    "link_queue_source",
+    "app_goodput_source",
+]
+
+#: Sampler groups the scenario spec may request in ``telemetry.samplers``.
+SAMPLER_GROUPS: Tuple[str, ...] = ("macroflows", "schedulers", "links", "apps")
+
+#: A sampler source: called once per tick with ``(now, record)``.
+Source = Callable[[float, Callable[[float, str, float], None]], None]
+
+
+class PeriodicSampler:
+    """Samples registered sources every ``interval`` simulated seconds.
+
+    Parameters
+    ----------
+    sim:
+        The event engine driving the simulation being observed.
+    interval:
+        Simulated seconds between ticks.
+    max_samples:
+        Per-series bound handed to each lazily-created
+        :class:`SeriesRecorder`.
+    sink:
+        Optional :class:`JsonlSink`; every observation is additionally
+        streamed there as a ``{"event": "sample"}`` line.
+    """
+
+    def __init__(
+        self,
+        sim,
+        interval: float,
+        max_samples: int = 4096,
+        sink: Optional[JsonlSink] = None,
+    ):
+        if interval <= 0:
+            raise ValueError("sample interval must be positive")
+        self.sim = sim
+        self.interval = float(interval)
+        self.max_samples = int(max_samples)
+        self.sink = sink
+        self.ticks = 0
+        self.series: Dict[str, SeriesRecorder] = {}
+        self._sources: List[Source] = []
+        self._event = None
+        self._running = False
+
+    # ------------------------------------------------------------- registration
+    def add_source(self, source: Source) -> None:
+        """Register a source; call before :meth:`start`."""
+        self._sources.append(source)
+
+    # ----------------------------------------------------------------- control
+    def start(self) -> None:
+        """Take an immediate sample and begin ticking (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._tick()
+
+    def stop(self) -> None:
+        """Stop ticking; recorded series stay available."""
+        self._running = False
+        if self._event is not None:
+            if self._event.pending:
+                self._event.cancel()
+            self._event = None
+
+    # --------------------------------------------------------------- internals
+    def _record(self, now: float, name: str, value: float) -> None:
+        recorder = self.series.get(name)
+        if recorder is None:
+            recorder = SeriesRecorder(self.max_samples)
+            self.series[name] = recorder
+        recorder.append(now, value)
+        if self.sink is not None:
+            self.sink.write_sample(now, name, value)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        self.ticks += 1
+        record = self._record
+        for source in self._sources:
+            source(now, record)
+        self._event = self.sim.schedule(self.interval, self._tick)
+
+    # ------------------------------------------------------------------ output
+    def sampled_series(self) -> Dict[str, List[Tuple[float, float]]]:
+        """All recorded series, name -> (time, value) points."""
+        return {name: recorder.points() for name, recorder in self.series.items()}
+
+    def dropped_by_series(self) -> Dict[str, int]:
+        """Series that hit their bound, name -> dropped point count."""
+        return {
+            name: recorder.dropped
+            for name, recorder in self.series.items()
+            if recorder.dropped
+        }
+
+
+# ====================================================================== #
+# Source factories                                                       #
+# ====================================================================== #
+def cm_state_source(host_name: str, cm) -> Source:
+    """Congestion state per macroflow of one host's CM.
+
+    Series: ``cm.<host>.mf<id>.{cwnd,rate,loss_ewma,outstanding}``.
+    Macroflows are discovered per tick, so flows opened mid-run (web
+    servers) show up from their first sample onwards.
+    """
+
+    def sample(now: float, record) -> None:
+        for macroflow in cm.macroflows:
+            prefix = f"cm.{host_name}.mf{macroflow.macroflow_id}"
+            record(now, f"{prefix}.cwnd", macroflow.controller.cwnd)
+            record(now, f"{prefix}.rate", macroflow.rate())
+            record(now, f"{prefix}.loss_ewma", macroflow.loss_rate)
+            record(now, f"{prefix}.outstanding", macroflow.outstanding_bytes)
+
+    return sample
+
+
+def scheduler_backlog_source(host_name: str, cm) -> Source:
+    """Pending request counts per macroflow scheduler.
+
+    Series: ``cm.<host>.mf<id>.pending``.
+    """
+
+    def sample(now: float, record) -> None:
+        for macroflow in cm.macroflows:
+            record(
+                now,
+                f"cm.{host_name}.mf{macroflow.macroflow_id}.pending",
+                float(macroflow.scheduler.pending_requests()),
+            )
+
+    return sample
+
+
+def link_queue_source(label: str, link) -> Source:
+    """Queue depth of one link.  Series: ``link.<label>.queue``."""
+    name = f"link.{label}.queue"
+
+    def sample(now: float, record) -> None:
+        record(now, name, float(link.queue_length))
+
+    return sample
+
+
+def app_goodput_source(label: str, app) -> Optional[Source]:
+    """Whatever an application reports via ``telemetry_sample()``.
+
+    Series: ``app.<label>.<key>`` per key of the returned dict.  Returns
+    ``None`` for applications that do not implement sampling.
+    """
+    sampler = getattr(app, "telemetry_sample", None)
+    if sampler is None or sampler() is None:
+        return None
+    prefix = f"app.{label}"
+
+    def sample(now: float, record) -> None:
+        values = sampler()
+        if not values:
+            return
+        for key in sorted(values):
+            record(now, f"{prefix}.{key}", float(values[key]))
+
+    return sample

@@ -113,8 +113,14 @@ class TCPSenderBase:
         self.on_progress: Optional[Callable[[int], None]] = None
         #: Invoked for every transmitted data segment (seq, length, time).
         self.on_transmit: Optional[Callable[[int, int, float], None]] = None
+        # Telemetry probe slot (see repro.telemetry); None = compiled no-op.
+        self._probe_transmit = None
 
         host.ip.register_handler(PROTO_TCP, self.sport, self._handle_packet)
+
+    def attach_telemetry(self, hub) -> None:
+        """Bind the ``tcp.transmit`` probe to a telemetry hub."""
+        self._probe_transmit = hub.probe("tcp.transmit")
 
     # ====================================================================== #
     # Application interface                                                  #
@@ -227,6 +233,10 @@ class TCPSenderBase:
         self.bytes_transmitted += length
         if retransmission:
             self.retransmissions += 1
+        probe = self._probe_transmit
+        if probe is not None:
+            probe(self.sim.now, {"dst": self.dst, "seq": seq, "size": length,
+                                 "retransmission": retransmission})
         if self.on_transmit is not None:
             self.on_transmit(seq, length, self.sim.now)
         if not self._rto_timer.pending:

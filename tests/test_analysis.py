@@ -57,3 +57,44 @@ class TestSmallHelpers:
         assert oscillation_count([1, 1, 2, 2, 1, 3]) == 3
         assert oscillation_count([]) == 0
         assert oscillation_count([5]) == 0
+
+
+class TestMetricsEdgeCases:
+    """Previously untested branches of analysis.metrics (PR-4 satellite)."""
+
+    def test_oscillation_count_constant_series(self):
+        assert oscillation_count([7] * 100) == 0
+        assert oscillation_count([0.5, 0.5, 0.5]) == 0
+
+    def test_oscillation_count_alternating_series(self):
+        assert oscillation_count([0, 1] * 50) == 99
+
+    def test_series_helpers_single_point(self):
+        assert series_mean([(3.0, 42.0)]) == 42.0
+        assert series_max([(3.0, 42.0)]) == 42.0
+
+    def test_series_max_with_negative_values(self):
+        # max() of an all-negative value column must not be confused with
+        # the empty-series 0.0 fallback.
+        assert series_max([(0.0, -5.0), (1.0, -2.0)]) == -2.0
+
+    def test_jain_ignores_negative_shares(self):
+        # Negative shares are filtered before the index is computed.
+        assert jain_fairness([-1.0, 5.0, 5.0]) == pytest.approx(1.0)
+        assert jain_fairness([-1.0, -2.0]) == 0.0
+
+    def test_jain_all_zero_shares_are_fair(self):
+        assert jain_fairness([0.0, 0.0, 0.0, 0.0]) == 1.0
+
+    def test_jain_denormal_shares_underflow_to_fair(self):
+        # Shares so small their squares underflow to 0.0 hit the explicit
+        # squares == 0 branch: indistinguishable, i.e. perfectly fair.
+        tiny = 1e-200
+        assert jain_fairness([tiny, tiny, tiny]) == 1.0
+
+    def test_throughput_negative_elapsed_is_zero(self):
+        assert throughput_bytes_per_second(1000, -0.5) == 0.0
+
+    def test_relative_difference_sign_and_magnitude(self):
+        assert relative_difference(-100.0, 100.0) == pytest.approx(2.0)
+        assert relative_difference(0.0, 50.0) == pytest.approx(1.0)

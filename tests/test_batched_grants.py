@@ -86,6 +86,73 @@ class TestNextBatchOrderEquivalence:
         assert scheduler.pending_requests() == 1
 
 
+class TestWeightedNextBatchOverride:
+    """The PR-4 optimized WRR ``next_batch`` must be a pure cost change.
+
+    The base-class loop popped one request per ``next_flow`` call, rescanning
+    credits each time; the override serves whole head-of-ring bursts.  These
+    tests replay both against the same workloads, including interleaved
+    enqueues, partial drains and mid-round removals.
+    """
+
+    def test_weighted_burst_shape(self):
+        scheduler = WeightedRoundRobinScheduler()
+        scheduler.set_weight(1, 3)
+        scheduler.set_weight(2, 1)
+        fill(scheduler, [(1, 5), (2, 5)])
+        # Weight-3 flow bursts three, weight-1 flow gets one, repeat; the
+        # heavy flow drains on its second (truncated) burst.
+        assert scheduler.next_batch(8) == [1, 1, 1, 2, 1, 1, 2, 2]
+
+    def test_weighted_batch_randomized_order_identity(self):
+        import random
+
+        rng = random.Random(20260730)
+        for _trial in range(60):
+            reference = WeightedRoundRobinScheduler()
+            batched = WeightedRoundRobinScheduler()
+            n_flows = rng.randint(1, 7)
+            for flow_id in range(1, n_flows + 1):
+                weight = rng.randint(1, 5)
+                reference.set_weight(flow_id, weight)
+                batched.set_weight(flow_id, weight)
+            for _op in range(rng.randint(2, 25)):
+                action = rng.random()
+                if action < 0.55:
+                    flow_id = rng.randint(1, n_flows)
+                    count = rng.randint(1, 6)
+                    for _ in range(count):
+                        reference.enqueue(flow_id)
+                        batched.enqueue(flow_id)
+                elif action < 0.70:
+                    victim = rng.randint(1, n_flows)
+                    reference.remove_flow(victim)
+                    batched.remove_flow(victim)
+                else:
+                    size = rng.randint(1, 9)
+                    expected = []
+                    for _ in range(size):
+                        flow_id = reference.next_flow()
+                        if flow_id is None:
+                            break
+                        expected.append(flow_id)
+                    assert batched.next_batch(size) == expected
+                assert batched.pending_requests() == reference.pending_requests()
+            # Full drain at the end must agree too.
+            assert drain_batched(batched, 4) == drain_one_at_a_time(reference)
+
+    def test_weighted_batch_replenishes_when_all_credits_spent(self):
+        scheduler = WeightedRoundRobinScheduler()
+        scheduler.set_weight(1, 2)
+        scheduler.set_weight(2, 2)
+        fill(scheduler, [(1, 4), (2, 4)])
+        # First batch spends every credit mid-ring; the next batch must
+        # replenish and continue in ring order, exactly like next_flow.
+        assert scheduler.next_batch(4) == [1, 1, 2, 2]
+        assert scheduler.next_batch(4) == [1, 1, 2, 2]
+        assert scheduler.next_batch(4) == []
+
+
 class TestRemoveFlowMidRound:
     def test_round_robin_remove_mid_round_order(self):
         scheduler = RoundRobinScheduler()

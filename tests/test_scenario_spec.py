@@ -236,6 +236,73 @@ class TestRoundTrip:
         assert clone.links[0].rate_schedule == ((1.0, 2e6), (2.0, 3e6))
 
 
+class TestValidationCacheSoundness:
+    """The content-keyed validation memo must never change an outcome."""
+
+    def test_cache_hit_skips_rewalk_but_same_result(self):
+        a = minimal_spec()
+        b = minimal_spec()
+        assert a.validate() is a
+        assert b.validate() is b  # served from the cache, equally valid
+
+    def test_int_float_confusion_never_shares_a_slot(self):
+        # seed=1 is valid; seed=1.0 must still raise even though 1 == 1.0
+        # would otherwise collide in the cache key.
+        minimal_spec(seed=1).validate()
+        with pytest.raises(SpecError, match="seed"):
+            minimal_spec(seed=1.0).validate()
+
+    def test_bool_int_confusion_never_shares_a_slot(self):
+        # stop.until=1 is a valid number; True == 1 but bools are rejected
+        # by _check_number and must not reuse the cached success.
+        minimal_spec(stop=StopSpec(until=1)).validate()
+        with pytest.raises(SpecError, match="until"):
+            minimal_spec(stop=StopSpec(until=True)).validate()
+
+    def test_params_cache_keeps_int_param_strict(self):
+        validate_params("tcp_listener", {"port": 5001})
+        with pytest.raises(SpecError, match="port"):
+            validate_params("tcp_listener", {"port": 5001.0})
+
+    def test_reregistered_application_invalidates_cached_params(self):
+        from repro.scenario.applications import APPLICATIONS, Param, register_application
+        from repro.scenario.applications import Application
+
+        class FakeApp(Application):
+            name = "cache_fake"
+            PARAMS = {"n": Param(int, default=1)}
+
+        register_application(FakeApp)
+        try:
+            spec = minimal_spec(apps=[AppSpec(app="cache_fake", host="a")])
+            spec.validate()
+            assert spec.apps[0].normalized_params() == {"n": 1}
+
+            class FakeApp2(Application):
+                name = "cache_fake"
+                PARAMS = {"n": Param(int, default=99)}
+
+            register_application(FakeApp2)
+            spec2 = minimal_spec(apps=[AppSpec(app="cache_fake", host="a")])
+            spec2.validate()
+            assert spec2.apps[0].normalized_params() == {"n": 99}
+        finally:
+            APPLICATIONS.pop("cache_fake", None)
+
+    def test_sealed_spec_rejects_mutation_and_revalidates_free(self):
+        from repro.experiments.topology import dummynet_pair_spec
+
+        spec = dummynet_pair_spec(loss_rate=0.01)
+        assert spec.validate() is spec
+        with pytest.raises(SpecError, match="sealed"):
+            spec.seed = 5
+        with pytest.raises(SpecError, match="sealed"):
+            spec.links[0].loss_rate = 0.5
+        # The factory hands back the same sealed instance per parameter set.
+        assert dummynet_pair_spec(loss_rate=0.01) is spec
+        assert dummynet_pair_spec(loss_rate=0.02) is not spec
+
+
 def test_registry_covers_all_app_layers():
     """Every workload family from the paper is registered."""
     names = known_applications()
