@@ -32,6 +32,7 @@ from . import (
     figure8,
     figure9,
     figure10,
+    scale,
     table1,
     timeseries,
 )
@@ -186,6 +187,17 @@ register(
         reduce=timeseries.reduce,
         run=timeseries.run,
         smoke={"duration": 6.0, "sample_interval": 0.5},
+    )
+)
+register(
+    ExperimentSpec(
+        name="scale",
+        trials=scale.trials,
+        trial=scale.run_trial,
+        reduce=scale.reduce,
+        run=scale.run,
+        supports_seeds=True,
+        smoke={"host_counts": (2, 4), "duration": 6.0},
     )
 )
 register(

@@ -47,6 +47,7 @@ class IPLayer:
         self.packets_forwarded = 0
         self.packets_no_handler = 0
         self.send_failures = 0
+        self.forward_drops = 0
 
     # ------------------------------------------------------------ demux setup
     def register_handler(self, protocol: str, port: int, handler: Callable[[Packet], None]) -> None:
@@ -129,6 +130,8 @@ class IPLayer:
         if link is None:
             # Routers drop unroutable packets rather than raising: end hosts
             # probing a dead path should see loss, not a simulator crash.
+            # The counter is the debugging handle for mis-routed graphs.
+            self.forward_drops += 1
             return
         self.packets_forwarded += 1
         link.send(packet)

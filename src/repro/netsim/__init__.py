@@ -7,6 +7,7 @@ for the substitution rationale.
 
 from .channel import Channel, Dumbbell, build_dumbbell
 from .engine import Event, SimulationError, Simulator, Timer
+from .graph import GraphNet, build_graph, shortest_path_next_hops
 from .link import Link, LinkStats
 from .node import Host, Router
 from .packet import (
@@ -25,6 +26,9 @@ __all__ = [
     "Channel",
     "Dumbbell",
     "build_dumbbell",
+    "GraphNet",
+    "build_graph",
+    "shortest_path_next_hops",
     "Event",
     "SimulationError",
     "Simulator",

@@ -1,0 +1,194 @@
+"""Arbitrary-graph topologies with static shortest-path routing.
+
+:func:`build_graph` generalises :func:`~repro.netsim.channel.build_dumbbell`:
+instead of one fixed shape it wires any set of named hosts and routers
+connected by bidirectional links, computes static shortest-path routes and
+installs them into the per-node routing tables the existing
+:class:`~repro.iplayer.ip.IPLayer` forwarding consumes.  Parking lots,
+stars, multi-bottleneck meshes — anything expressible as a graph — compile
+into the same :class:`~repro.netsim.node.Host` / :class:`~repro.netsim.link.Link`
+machinery every experiment already runs on.
+
+Routing is computed once, at build time (the paper's testbeds were statically
+routed, and dynamic routing would perturb the congestion dynamics under
+study).  :func:`shortest_path_next_hops` is a pure function of the link set:
+
+* the path metric is ``(total one-way delay, hop count, path names)``, so
+  lower-latency routes win, equal-latency routes prefer fewer hops, and any
+  remaining tie breaks on the lexicographic node-name sequence;
+* because every tie-break is by *name*, the table is invariant under
+  permutations of the node/link declaration order — a property the
+  hypothesis test layer locks down.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from .engine import Simulator
+from .link import Link
+from .node import Host, Router
+
+__all__ = ["GraphNet", "shortest_path_next_hops", "build_graph"]
+
+
+def shortest_path_next_hops(
+    edges: Mapping[Tuple[str, str], float],
+) -> Dict[str, Dict[str, str]]:
+    """Static next-hop tables for a directed, delay-weighted edge set.
+
+    ``edges`` maps ``(a, b)`` to the one-way propagation delay of the
+    directed link from ``a`` to ``b``.  Returns ``table[src][dst] ->
+    next_hop_name`` for every reachable ``dst != src``; unreachable
+    destinations are simply absent.
+
+    Deterministic and declaration-order independent: nodes and neighbours
+    are visited in sorted-name order and path ties break on
+    ``(delay, hops, lexicographic path)``.
+    """
+    adjacency: Dict[str, List[Tuple[str, float]]] = {}
+    for (a, b), delay in edges.items():
+        adjacency.setdefault(a, []).append((b, float(delay)))
+        adjacency.setdefault(b, [])
+    for neighbours in adjacency.values():
+        neighbours.sort()
+
+    table: Dict[str, Dict[str, str]] = {}
+    for source in sorted(adjacency):
+        # Dijkstra keyed by the full (delay, hops, path-names) triple: the
+        # heap order *is* the path preference order, so the first time a
+        # node is popped its best path is final.
+        best: Dict[str, Tuple[float, int, Tuple[str, ...]]] = {}
+        heap: List[Tuple[float, int, Tuple[str, ...]]] = [(0.0, 0, (source,))]
+        while heap:
+            delay, hops, path = heapq.heappop(heap)
+            node = path[-1]
+            if node in best:
+                continue
+            best[node] = (delay, hops, path)
+            for neighbour, edge_delay in adjacency.get(node, ()):
+                if neighbour not in best:
+                    heapq.heappush(heap, (delay + edge_delay, hops + 1, path + (neighbour,)))
+        table[source] = {
+            dst: path[1] for dst, (_delay, _hops, path) in best.items() if dst != source
+        }
+    return table
+
+
+@dataclass
+class GraphNet:
+    """The node and link handles returned by :func:`build_graph`."""
+
+    #: Every node in declaration order (hosts and routers).
+    nodes: Dict[str, Host]
+    #: End systems only — the nodes applications may run on.
+    hosts: Dict[str, Host]
+    #: Directed links, keyed ``(from, to)``, in declaration order
+    #: (forward then reverse per declared link).
+    links: Dict[Tuple[str, str], Link] = field(default_factory=dict)
+    #: ``next_hops[node][dst_node] -> neighbour`` (name level, for tests
+    #: and debugging; the installed routes are keyed by address).
+    next_hops: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    def link(self, a: str, b: str) -> Link:
+        """The directed link from node ``a`` to node ``b``."""
+        return self.links[(a, b)]
+
+
+def build_graph(
+    sim: Simulator,
+    nodes: Sequence[Mapping[str, Any]],
+    links: Sequence[Mapping[str, Any]],
+    seed: int = 0,
+    host_costs_factory=None,
+) -> GraphNet:
+    """Wire an arbitrary named-node topology with static shortest-path routes.
+
+    Parameters
+    ----------
+    nodes:
+        Mappings with keys ``name``, ``kind`` (``"host"`` or ``"router"``),
+        ``addr`` (defaulted when empty) and ``costs`` (host CPU accounting).
+    links:
+        Mappings with keys ``a``, ``b``, ``rate_bps``, ``delay`` and the
+        optional :class:`~repro.netsim.link.Link` knobs ``queue_limit``,
+        ``loss_rate``, ``reverse_loss_rate``, ``ecn_threshold`` and
+        ``seed_offset``.  Each entry creates one link per direction.
+    seed:
+        Base seed for the links' random-loss RNGs.  Link *i* draws from
+        ``seed + (seed_offset or 2*i)`` forward and ``+1`` reverse — the
+        same staggering convention :class:`~repro.scenario.spec.LinkSpec`
+        uses, so single-path graphs stay byte-compatible with the
+        equivalent channel wiring.
+    host_costs_factory:
+        Factory for per-host CPU ledgers (routers never get one — the
+        paper only measures end-system CPU).
+    """
+    net_nodes: Dict[str, Host] = {}
+    net_hosts: Dict[str, Host] = {}
+    host_index = 0
+    for spec in nodes:
+        name = spec["name"]
+        kind = spec.get("kind", "host")
+        addr = spec.get("addr", "")
+        if kind == "router":
+            net_nodes[name] = Router(sim, name, addr)
+        else:
+            if not addr:
+                addr = f"10.{host_index + 1}.0.1"
+            costs = None
+            if spec.get("costs", True) and host_costs_factory is not None:
+                costs = host_costs_factory()
+            host = Host(sim, name, addr, costs=costs)
+            net_nodes[name] = host
+            net_hosts[name] = host
+        if kind == "host":
+            host_index += 1
+
+    net = GraphNet(nodes=net_nodes, hosts=net_hosts)
+    edges: Dict[Tuple[str, str], float] = {}
+    for index, spec in enumerate(links):
+        a, b = spec["a"], spec["b"]
+        delay = float(spec["delay"])
+        loss = float(spec.get("loss_rate", 0.0))
+        reverse_loss = spec.get("reverse_loss_rate")
+        offset = spec.get("seed_offset", 0) or 2 * index
+        forward = Link(
+            sim,
+            rate_bps=spec["rate_bps"],
+            delay=delay,
+            queue_limit=spec.get("queue_limit", 100),
+            loss_rate=loss,
+            ecn_threshold=spec.get("ecn_threshold"),
+            seed=seed + offset,
+            name=f"{a}->{b}",
+        )
+        reverse = Link(
+            sim,
+            rate_bps=spec["rate_bps"],
+            delay=delay,
+            queue_limit=spec.get("queue_limit", 100),
+            loss_rate=loss if reverse_loss is None else float(reverse_loss),
+            ecn_threshold=spec.get("ecn_threshold"),
+            seed=seed + offset + 1,
+            name=f"{b}->{a}",
+        )
+        forward.attach(net_nodes[b].receive_from_link)
+        reverse.attach(net_nodes[a].receive_from_link)
+        net.links[(a, b)] = forward
+        net.links[(b, a)] = reverse
+        edges[(a, b)] = delay
+        edges[(b, a)] = delay
+
+    net.next_hops = shortest_path_next_hops(edges)
+    for name, node in net_nodes.items():
+        hops = net.next_hops.get(name, {})
+        for dst_name, via in hops.items():
+            if dst_name not in net_hosts:
+                # Only end systems are packet destinations; router addresses
+                # never appear in a packet header.
+                continue
+            node.add_route(net_nodes[dst_name].addr, net.links[(name, via)])
+    return net

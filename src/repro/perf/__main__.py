@@ -21,10 +21,10 @@ def main(argv=None) -> int:
         "--quick", action="store_true", help="small workloads for CI smoke runs"
     )
     parser.add_argument(
-        "--output", default="BENCH_PR4.json", help="where to write the JSON report"
+        "--output", default="BENCH_PR5.json", help="where to write the JSON report"
     )
     parser.add_argument(
-        "--label", default="BENCH_PR4", help="label recorded in the report metadata"
+        "--label", default="BENCH_PR5", help="label recorded in the report metadata"
     )
     args = parser.parse_args(argv)
 

@@ -327,6 +327,116 @@ def bench_scenario_build(builds: int, repeats: int) -> BenchResult:
 
 
 # ====================================================================== #
+# Graph compile: arbitrary topology -> routed simulation                 #
+# ====================================================================== #
+def bench_graph_build(builds: int, repeats: int) -> BenchResult:
+    """Cost of compiling a mesh GraphSpec: validation + routing + wiring.
+
+    The workload is a 6x4 grid (24 routers, 12 hosts hanging off the edge,
+    46 links) — bigger than any bundled preset, so the all-pairs
+    shortest-path computation and the route installation dominate.  There
+    is no seed baseline (the seed repository could not express graphs);
+    the row exists to catch regressions in the spec->simulation path that
+    every scale sweep now pays per trial.
+    """
+    from ..scenario.builder import build
+    from ..scenario.spec import GraphLinkSpec, GraphNodeSpec, GraphSpec, ScenarioSpec
+
+    rows, cols = 4, 6
+    nodes = [GraphNodeSpec(name=f"r{r}_{c}", kind="router")
+             for r in range(rows) for c in range(cols)]
+    links = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                links.append(GraphLinkSpec(a=f"r{r}_{c}", b=f"r{r}_{c + 1}",
+                                           rate_bps=10e6, delay=0.005))
+            if r + 1 < rows:
+                links.append(GraphLinkSpec(a=f"r{r}_{c}", b=f"r{r + 1}_{c}",
+                                           rate_bps=10e6, delay=0.005))
+    for r in range(rows):
+        nodes.append(GraphNodeSpec(name=f"h{r}_w"))
+        nodes.append(GraphNodeSpec(name=f"h{r}_e"))
+        links.append(GraphLinkSpec(a=f"h{r}_w", b=f"r{r}_0", rate_bps=100e6, delay=0.001))
+        links.append(GraphLinkSpec(a=f"h{r}_e", b=f"r{r}_{cols - 1}", rate_bps=100e6, delay=0.001))
+    for c in range(cols):
+        nodes.append(GraphNodeSpec(name=f"h{c}_n"))
+        links.append(GraphLinkSpec(a=f"h{c}_n", b=f"r0_{c}", rate_bps=100e6, delay=0.001))
+    spec = ScenarioSpec(name="bench_graph", graph=GraphSpec(nodes=nodes, links=links),
+                        metrics=("links",))
+    n_nodes, n_links = len(nodes), len(links)
+
+    def side() -> float:
+        start = time.perf_counter()
+        for index in range(builds):
+            build(spec, seed=index)
+        return time.perf_counter() - start
+
+    wall = _best_of(side, repeats)
+    return BenchResult(
+        name="graph_build",
+        ops=builds,
+        wall_s=wall,
+        notes=(
+            f"{n_nodes}-node / {n_links}-link grid mesh: GraphSpec validation + "
+            "all-pairs shortest-path routing + host/link wiring; ops = graphs built"
+        ),
+        extra={"nodes": float(n_nodes), "links": float(n_links)},
+    )
+
+
+# ====================================================================== #
+# Workload churn: runtime app attach/detach through the event engine     #
+# ====================================================================== #
+def bench_workload_churn(duration: float, repeats: int) -> BenchResult:
+    """Throughput of the stochastic-workload attach/detach machinery.
+
+    A high-rate ``tcp_flows`` generator churns small TCP/CM transfers over
+    a fast two-host path: every arrival validates app params, constructs a
+    listener + sender, opens a CM flow into the shared macroflow; every
+    reap closes them again.  ops = attach/detach cycles completed (started
+    flows), so the row tracks the fixed per-flow machinery cost rather
+    than raw packet throughput.
+    """
+    from ..scenario.runner import run as run_scenario
+    from ..scenario.spec import HostSpec, LinkSpec, ScenarioSpec, StopSpec, WorkloadSpec
+
+    spec = ScenarioSpec(
+        name="bench_workload_churn",
+        hosts=[HostSpec(name="src", cm=True), HostSpec(name="dst")],
+        links=[LinkSpec(a="src", b="dst", rate_bps=50e6, delay=0.002, queue_limit=200)],
+        workloads=[WorkloadSpec(
+            kind="tcp_flows", host="src", peer="dst", label="churn",
+            params={"rate": 40.0, "min_bytes": 4_000, "pareto_alpha": 2.0,
+                    "max_bytes": 40_000, "max_active": 64, "reap_interval": 0.05},
+        )],
+        stop=StopSpec(until=duration),
+        metrics=("links",),
+        seed=3,
+    )
+    flows = [0]
+
+    def once() -> float:
+        start = time.perf_counter()
+        result = run_scenario(spec, seed=3)
+        elapsed = time.perf_counter() - start
+        metrics = result.workload("churn")["metrics"]
+        flows[0] = metrics["flows_started"]
+        return elapsed
+
+    wall = _best_of(once, repeats)
+    return BenchResult(
+        name="workload_churn",
+        ops=flows[0],
+        wall_s=wall,
+        notes=(
+            f"tcp_flows generator at 40 flows/s over a 50 Mbps path for {duration:.0f}s "
+            "simulated; ops = flows attached+detached through the event engine"
+        ),
+    )
+
+
+# ====================================================================== #
 # Telemetry overhead: probes-off vs probes-on on one scenario            #
 # ====================================================================== #
 def bench_telemetry_overhead(duration: float, repeats: int) -> BenchResult:
@@ -452,16 +562,17 @@ def bench_experiments_parallel(
 # ====================================================================== #
 #: Workload sizes: (event_churn_n, timer_restart_n, grant_flows,
 #: grant_requests_per_flow, figure3_bytes, parallel_seeds,
-#: parallel_transfer_bytes, scenario_builds, telemetry_duration, repeats)
-_FULL = (200_000, 200_000, 64, 256, 500_000, 8, 200_000, 2_000, 10.0, 5)
-_QUICK = (30_000, 30_000, 32, 64, 100_000, 4, 60_000, 400, 4.0, 3)
+#: parallel_transfer_bytes, scenario_builds, telemetry_duration,
+#: graph_builds, churn_duration, repeats)
+_FULL = (200_000, 200_000, 64, 256, 500_000, 8, 200_000, 2_000, 10.0, 300, 5.0, 5)
+_QUICK = (30_000, 30_000, 32, 64, 100_000, 4, 60_000, 400, 4.0, 60, 2.0, 3)
 
 
 def run_benchmarks(quick: bool = False, label: str = "BENCH_PR1") -> dict:
     """Run every benchmark and return the JSON-ready report dict."""
     sizes = _QUICK if quick else _FULL
     (churn_n, timer_n, grant_flows, grant_reqs, fig3_bytes, par_seeds, par_bytes,
-     scenario_builds, telemetry_duration, repeats) = sizes
+     scenario_builds, telemetry_duration, graph_builds, churn_duration, repeats) = sizes
     pool_jobs = max(2, min(4, os.cpu_count() or 1))
     results = [
         bench_event_churn(churn_n, repeats),
@@ -469,6 +580,8 @@ def run_benchmarks(quick: bool = False, label: str = "BENCH_PR1") -> dict:
         bench_grant_dispatch(grant_flows, grant_reqs, repeats),
         bench_figure3_scenario(fig3_bytes, repeats),
         bench_scenario_build(scenario_builds, repeats),
+        bench_graph_build(graph_builds, repeats),
+        bench_workload_churn(churn_duration, repeats),
         bench_telemetry_overhead(telemetry_duration, repeats),
         bench_experiments_parallel(par_seeds, par_bytes, pool_jobs, min(repeats, 2)),
     ]

@@ -17,7 +17,8 @@ This package is the construction layer everything else builds on:
   runnable via ``python -m repro.scenario run <preset>``.
 
 See ``docs/scenario_api.md`` for the schema, examples and how the paper's
-eleven experiments map onto this layer.
+experiments map onto this layer, plus the graph-topology and stochastic
+workload blocks (``repro.workloads``) added on top of it.
 """
 
 from .applications import (
@@ -35,12 +36,16 @@ from .runner import ScenarioResult, run, run_built, validate_result_payload
 from .spec import (
     AppSpec,
     DumbbellSpec,
+    GraphLinkSpec,
+    GraphNodeSpec,
+    GraphSpec,
     HostSpec,
     LinkSpec,
     ScenarioSpec,
     SpecError,
     StopSpec,
     TelemetrySpec,
+    WorkloadSpec,
 )
 from .telemetry import ScenarioTelemetry
 
@@ -49,7 +54,11 @@ __all__ = [
     "HostSpec",
     "LinkSpec",
     "DumbbellSpec",
+    "GraphNodeSpec",
+    "GraphLinkSpec",
+    "GraphSpec",
     "AppSpec",
+    "WorkloadSpec",
     "StopSpec",
     "TelemetrySpec",
     "ScenarioTelemetry",

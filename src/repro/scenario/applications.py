@@ -51,7 +51,13 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Param:
-    """Typed parameter declaration for an application."""
+    """Typed parameter declaration for an application or workload.
+
+    ``minimum`` bounds numeric parameters (``exclusive_minimum`` makes the
+    bound strict) so values that would hang or crash a generator mid-run —
+    a zero reap interval, a zero-mean think time — fail eagerly at
+    ``spec.validate()`` with a path-qualified message instead.
+    """
 
     type: type
     default: Any = None
@@ -59,6 +65,8 @@ class Param:
     help: str = ""
     choices: Optional[Tuple[Any, ...]] = None
     nullable: bool = False
+    minimum: Optional[float] = None
+    exclusive_minimum: bool = False
 
 
 def _coerced(value: Any, param: Param) -> Any:
@@ -77,20 +85,31 @@ _PARAMS_CACHE_MAX = 1024
 
 def validate_params(app_name: str, params: Dict[str, Any], path: str = "params") -> Dict[str, Any]:
     """Validate ``params`` against the app's schema; return defaults-applied dict."""
-    app_cls = get_application(app_name)
+    return validate_params_cached(get_application(app_name), app_name, params, path,
+                                  _PARAMS_CACHE, _PARAMS_CACHE_MAX)
+
+
+def validate_params_cached(schema_cls: type, name: str, params: Dict[str, Any], path: str,
+                           cache: Dict[tuple, Dict[str, Any]], cache_max: int) -> Dict[str, Any]:
+    """Memoized schema walk shared by the application and workload registries.
+
+    The key includes the schema class object itself, so re-registering a
+    different class under the same name can never serve stale defaults;
+    hits hand back a copy so callers may mutate their dict freely.
+    """
     try:
-        key = (app_cls, tuple(sorted((name, _kv(value)) for name, value in params.items())))
+        key = (schema_cls, tuple(sorted((pname, _kv(value)) for pname, value in params.items())))
     except TypeError:
         key = None  # unhashable value; the schema walk below will name it
     if key is not None:
-        cached = _PARAMS_CACHE.get(key)
+        cached = cache.get(key)
         if cached is not None:
             return dict(cached)
-    normalized = _validate_params_walk(app_cls, app_name, params, path)
+    normalized = _validate_params_walk(schema_cls, name, params, path)
     if key is not None:
-        if len(_PARAMS_CACHE) >= _PARAMS_CACHE_MAX:
-            _PARAMS_CACHE.clear()
-        _PARAMS_CACHE[key] = dict(normalized)
+        if len(cache) >= cache_max:
+            cache.clear()
+        cache[key] = dict(normalized)
     return normalized
 
 
@@ -125,6 +144,15 @@ def _validate_params_walk(app_cls: type, app_name: str, params: Dict[str, Any],
         if param.choices is not None and value not in param.choices:
             raise SpecError(f"{path}.{name}",
                             f"must be one of {', '.join(map(repr, param.choices))}, got {value!r}")
+        if (param.minimum is not None and value is not None
+                and isinstance(value, (int, float)) and not isinstance(value, bool)):
+            if param.exclusive_minimum:
+                if value <= param.minimum:
+                    raise SpecError(f"{path}.{name}",
+                                    f"must be > {param.minimum}, got {value!r}")
+            elif value < param.minimum:
+                raise SpecError(f"{path}.{name}",
+                                f"must be >= {param.minimum}, got {value!r}")
         normalized[name] = value
     return normalized
 
@@ -167,6 +195,16 @@ class Application:
 
     def stop(self) -> None:
         """Tear the workload down after the horizon."""
+
+    def detach(self) -> None:
+        """Release every resource this instance holds (runtime detach).
+
+        Workload generators call this when churning an application out of a
+        *running* scenario.  The default is :meth:`stop`; applications whose
+        ``stop`` deliberately leaves a socket or CM flow open (because the
+        run is over anyway) override this to close it as well.
+        """
+        self.stop()
 
     def metrics(self) -> Dict[str, Any]:
         """Flat, JSON-able measurements for the scenario result."""
@@ -523,6 +561,13 @@ class VatApp(Application):
 
     def stop(self) -> None:
         self.app.stop()
+
+    def detach(self) -> None:
+        # stop() keeps the CM-UDP socket open (harmless after the horizon);
+        # a runtime detach must close it so the CM flow actually leaves the
+        # macroflow — that churn is the point of the vat_onoff workload.
+        self.stop()
+        self.app.socket.close()
 
     def telemetry_sample(self) -> Dict[str, float]:
         return {

@@ -24,6 +24,7 @@ which is what keeps the experiment artifacts byte-identical per seed.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -31,9 +32,9 @@ from ..core.congestion import AimdWindowController, CongestionController, RateAi
 from ..core.manager import CongestionManager
 from ..core.scheduler import RoundRobinScheduler, Scheduler, WeightedRoundRobinScheduler
 from ..hostmodel import HostCosts
-from ..netsim import Channel, Dumbbell, Host, Simulator, build_dumbbell
+from ..netsim import Channel, Dumbbell, GraphNet, Host, Simulator, build_dumbbell, build_graph
 from .applications import Application, get_application
-from .spec import HostSpec, ScenarioSpec, SpecError, default_addr
+from .spec import ScenarioSpec, SpecError, default_addr
 from .telemetry import ScenarioTelemetry
 
 __all__ = ["Scenario", "build"]
@@ -59,7 +60,13 @@ class Scenario:
     hosts: Dict[str, Host]
     channels: Dict[Tuple[str, str], Channel] = field(default_factory=dict)
     dumbbell: Optional[Dumbbell] = None
+    #: The wired graph topology (nodes incl. routers, directed links,
+    #: next-hop tables), present when the spec carries a ``graph:`` block.
+    graph_net: Optional[GraphNet] = None
     apps: List[Application] = field(default_factory=list)
+    #: Stochastic traffic generators (see :mod:`repro.workloads`), started
+    #: and stopped by the runner alongside the static apps.
+    workloads: List = field(default_factory=list)
     #: Telemetry wiring, present when the spec has a ``telemetry:`` block or
     #: the caller asked for a trace file; ``None`` means every probe slot in
     #: the simulation stays a compiled no-op.
@@ -74,12 +81,62 @@ class Scenario:
         return self.channels[(a, b)]
 
 
-def _attach_cm(host: Host, host_spec: HostSpec) -> CongestionManager:
+def _attach_cm(host: Host, host_spec) -> CongestionManager:
+    """Attach a CM per a HostSpec/GraphNodeSpec's controller/scheduler choice."""
     return CongestionManager(
         host,
         controller_factory=_CONTROLLER_FACTORIES[host_spec.cm_controller],
         scheduler_factory=_SCHEDULER_FACTORIES[host_spec.cm_scheduler],
     )
+
+
+def _build_graph_topology(scenario: Scenario, spec: ScenarioSpec, run_seed: int) -> None:
+    """Wire a ``graph:`` block through :func:`repro.netsim.graph.build_graph`.
+
+    Node and link declaration order is preserved (construction order is part
+    of the determinism contract); static shortest-path routes are installed
+    into every node's routing table, and CMs attach to ``cm``-flagged hosts
+    in node order afterwards — the same phasing the explicit-hosts branch
+    uses.
+    """
+    graph_spec = spec.graph
+    host_index = 0
+    node_payloads = []
+    for node in graph_spec.nodes:
+        addr = node.addr
+        if not addr and node.kind == "host":
+            addr = default_addr(host_index)
+        if node.kind == "host":
+            host_index += 1
+        node_payloads.append({
+            "name": node.name,
+            "kind": node.kind,
+            "addr": addr,
+            "costs": node.costs,
+        })
+    link_payloads = [
+        {
+            "a": link.a,
+            "b": link.b,
+            "rate_bps": link.rate_bps,
+            "delay": link.delay,
+            "queue_limit": link.queue_limit,
+            "loss_rate": link.loss_rate,
+            "reverse_loss_rate": link.reverse_loss_rate,
+            "ecn_threshold": link.ecn_threshold,
+            "seed_offset": link.seed_offset,
+        }
+        for link in graph_spec.links
+    ]
+    net = build_graph(
+        scenario.sim, node_payloads, link_payloads,
+        seed=run_seed, host_costs_factory=HostCosts,
+    )
+    scenario.graph_net = net
+    scenario.hosts.update(net.hosts)
+    for node in graph_spec.nodes:
+        if node.cm:
+            _attach_cm(net.hosts[node.name], node)
 
 
 def build(spec: ScenarioSpec, seed: Optional[int] = None,
@@ -121,6 +178,8 @@ def build(spec: ScenarioSpec, seed: Optional[int] = None,
             hosts[f"receiver{index}"] = host
         for index in dumbbell_spec.cm_senders:
             CongestionManager(dumbbell.senders[index])
+    elif spec.graph is not None:
+        _build_graph_topology(scenario, spec, run_seed)
     else:
         for index, host_spec in enumerate(spec.hosts):
             addr = host_spec.addr or default_addr(index)
@@ -165,6 +224,28 @@ def build(spec: ScenarioSpec, seed: Optional[int] = None,
         if not app_spec.label:
             app.label = f"{app_spec.app}[{index}]"
         scenario.apps.append(app)
+
+    if spec.workloads:
+        from ..workloads import get_workload
+
+        for index, workload_spec in enumerate(spec.workloads):
+            workload_cls = get_workload(workload_spec.kind)
+            # Each generator draws from its own RNG stream: decorrelated
+            # across workloads by declaration order (or the explicit
+            # seed_offset), fully determined by the run seed.
+            offset = workload_spec.seed_offset if workload_spec.seed_offset else index + 1
+            rng = random.Random(run_seed * 1_000_003 + 7919 * offset)
+            try:
+                workload = workload_cls(
+                    scenario, workload_spec, workload_spec.normalized_params(), rng)
+            except SpecError:
+                raise
+            except (RuntimeError, ValueError) as exc:
+                raise SpecError(f"workloads[{index}]",
+                                f"building {workload_spec.kind!r} failed: {exc}") from exc
+            if not workload_spec.label:
+                workload.label = f"{workload_spec.kind}[{index}]"
+            scenario.workloads.append(workload)
 
     if spec.telemetry is not None or trace_path is not None:
         # Subscribing sinks happens inside ScenarioTelemetry *before*

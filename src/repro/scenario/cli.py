@@ -62,6 +62,11 @@ def _print_result(result: ScenarioResult) -> None:
             f"{key}={_format_value(value)}" for key, value in sorted(entry["metrics"].items())
         )
         print(f"  {entry['label']:<24} on {entry['host']:<12} {metrics}")
+    for entry in result.workloads:
+        metrics = ", ".join(
+            f"{key}={_format_value(value)}" for key, value in sorted(entry["metrics"].items())
+        )
+        print(f"  {entry['label']:<24} on {entry['host']:<12} [{entry['kind']}] {metrics}")
     for entry in result.links:
         print(
             f"  link {entry['link']:<22} delivered={entry['delivered_packets']} "
@@ -119,6 +124,7 @@ def _per_seed_path(path: str, seed: int) -> str:
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
+    from ..workloads import describe_workloads
     from .applications import describe_applications
 
     print("bundled presets:")
@@ -127,6 +133,11 @@ def _cmd_list(_args: argparse.Namespace) -> int:
         print(f"  {name:<26} {spec.description.split(';')[0].strip()}")
     print("\nregistered applications:")
     for name, description, params in describe_applications():
+        print(f"  {name:<26} {description}")
+        for line in params:
+            print(f"      {line}")
+    print("\nregistered workloads (stochastic generators for the workloads: block):")
+    for name, description, params in describe_workloads():
         print(f"  {name:<26} {description}")
         for line in params:
             print(f"      {line}")

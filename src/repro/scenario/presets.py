@@ -27,13 +27,38 @@ hand-wired testbeds never could:
     paper-style time-series evidence (cwnd and rate evolution, queue
     occupancy) as a single runnable spec; the ``timeseries`` experiment
     reproduces its figures through the parallel runner.
+``parking_lot_mix``
+    The classic parking-lot chain (four routers, three shared segments): a
+    long-path bulk transfer and interactive vat audio cross every segment
+    while seeded stochastic TCP churn loads each hop — the first preset on
+    an arbitrary graph topology with runtime flow arrivals.
+``star_web_churn``
+    A star: one web server behind its access bottleneck, three clients
+    churning heavy-tailed web sessions against it — per-request CM
+    connections inheriting the shared macroflow state under Poisson load.
+``mesh_macroflow_sharing``
+    A multi-bottleneck mesh with an unused alternate path: three staggered
+    TCP/CM transfers plus flow churn share one macroflow end-to-end while
+    cross-traffic churns both bottleneck segments.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from .spec import AppSpec, DumbbellSpec, HostSpec, LinkSpec, ScenarioSpec, StopSpec, TelemetrySpec
+from .spec import (
+    AppSpec,
+    DumbbellSpec,
+    GraphLinkSpec,
+    GraphNodeSpec,
+    GraphSpec,
+    HostSpec,
+    LinkSpec,
+    ScenarioSpec,
+    StopSpec,
+    TelemetrySpec,
+    WorkloadSpec,
+)
 
 __all__ = ["PRESETS", "get_preset", "preset_names"]
 
@@ -198,6 +223,168 @@ def dumbbell_bulk() -> ScenarioSpec:
     )
 
 
+def parking_lot_mix() -> ScenarioSpec:
+    """Parking-lot chain: long-path bulk + vat vs. per-segment TCP churn."""
+    routers = [GraphNodeSpec(name=f"r{i}", kind="router") for i in range(4)]
+    hosts = [
+        GraphNodeSpec(name="lsrc", cm=True),
+        GraphNodeSpec(name="ldst"),
+        GraphNodeSpec(name="c0s", cm=True), GraphNodeSpec(name="c0d"),
+        GraphNodeSpec(name="c1s", cm=True), GraphNodeSpec(name="c1d"),
+        GraphNodeSpec(name="c2s", cm=True), GraphNodeSpec(name="c2d"),
+    ]
+    access = dict(rate_bps=40e6, delay=0.001, queue_limit=100)
+    segment = dict(rate_bps=8e6, delay=0.008, queue_limit=40)
+    links = [
+        # The three shared segments of the parking lot.
+        GraphLinkSpec(a="r0", b="r1", **segment),
+        GraphLinkSpec(a="r1", b="r2", **segment),
+        GraphLinkSpec(a="r2", b="r3", **segment),
+        # Long-path endpoints sit on the outermost routers.
+        GraphLinkSpec(a="lsrc", b="r0", **access),
+        GraphLinkSpec(a="ldst", b="r3", **access),
+        # Cross-traffic pair i loads segment i only.
+        GraphLinkSpec(a="c0s", b="r0", **access),
+        GraphLinkSpec(a="c0d", b="r1", **access),
+        GraphLinkSpec(a="c1s", b="r1", **access),
+        GraphLinkSpec(a="c1d", b="r2", **access),
+        GraphLinkSpec(a="c2s", b="r2", **access),
+        GraphLinkSpec(a="c2d", b="r3", **access),
+    ]
+    churn = {"arrival": "poisson", "rate": 1.5, "min_bytes": 15_000,
+             "pareto_alpha": 1.4, "max_bytes": 400_000, "max_active": 8}
+    return ScenarioSpec(
+        name="parking_lot_mix",
+        description=(
+            "Parking-lot chain of three 8 Mbps segments: a long-path TCP/CM bulk "
+            "transfer and vat audio cross all of them while seeded Poisson TCP churn "
+            "loads each segment — multi-bottleneck fairness under runtime flow churn."
+        ),
+        graph=GraphSpec(nodes=hosts[:2] + routers + hosts[2:], links=links),
+        apps=[
+            AppSpec(app="tcp_listener", host="ldst", label="long_listener",
+                    params={"port": 5001}),
+            AppSpec(app="tcp_sender", host="lsrc", peer="ldst", label="long_flow",
+                    params={"variant": "cm", "port": 5001, "transfer_bytes": 2_000_000,
+                            "receive_window": 256 * 1024}),
+            AppSpec(app="ack_reflector", host="ldst", label="vat_sink",
+                    params={"port": 9001}),
+            AppSpec(app="vat", host="lsrc", peer="ldst", label="long_vat",
+                    params={"port": 9001}),
+        ],
+        workloads=[
+            WorkloadSpec(kind="tcp_flows", host=f"c{i}s", peer=f"c{i}d",
+                         label=f"segment{i}_churn", params=dict(churn))
+            for i in range(3)
+        ],
+        stop=StopSpec(until=10.0),
+        metrics=("apps", "links"),
+        seed=21,
+    )
+
+
+def star_web_churn() -> ScenarioSpec:
+    """Star topology: one web server, three clients churning web sessions."""
+    n_clients = 3
+    nodes = [
+        GraphNodeSpec(name="server", cm=True),
+        GraphNodeSpec(name="hub", kind="router"),
+    ] + [GraphNodeSpec(name=f"client{i}") for i in range(n_clients)]
+    links = [GraphLinkSpec(a="server", b="hub", rate_bps=12e6, delay=0.005, queue_limit=50)] + [
+        GraphLinkSpec(a=f"client{i}", b="hub", rate_bps=30e6, delay=0.002, queue_limit=100)
+        for i in range(n_clients)
+    ]
+    sessions = {"arrival": "poisson", "rate": 1.2, "requests_mean": 3.0,
+                "think_mean": 0.4, "min_bytes": 12_288, "pareto_alpha": 1.3,
+                "max_bytes": 262_144}
+    return ScenarioSpec(
+        name="star_web_churn",
+        description=(
+            "Star around one router: a CM web server behind its 12 Mbps access link "
+            "serves three clients churning Poisson web sessions with Pareto response "
+            "sizes — every response connection inherits the shared macroflow state."
+        ),
+        graph=GraphSpec(nodes=nodes, links=links),
+        apps=[
+            AppSpec(app="web_server", host="server", label="server",
+                    params={"port": 80, "variant": "cm"}),
+        ],
+        workloads=[
+            WorkloadSpec(kind="web_sessions", host=f"client{i}", peer="server",
+                         label=f"client{i}_sessions", params=dict(sessions))
+            for i in range(n_clients)
+        ],
+        stop=StopSpec(until=10.0),
+        metrics=("apps", "links", "hosts"),
+        seed=5,
+    )
+
+
+def mesh_macroflow_sharing() -> ScenarioSpec:
+    """Multi-bottleneck mesh: one macroflow's flows + churn over two hops."""
+    nodes = [
+        GraphNodeSpec(name="src", cm=True),
+        GraphNodeSpec(name="sink"),
+        GraphNodeSpec(name="xs", cm=True), GraphNodeSpec(name="xd"),
+        GraphNodeSpec(name="ys", cm=True), GraphNodeSpec(name="yd"),
+        GraphNodeSpec(name="ra", kind="router"),
+        GraphNodeSpec(name="rb", kind="router"),
+        GraphNodeSpec(name="rc", kind="router"),
+        GraphNodeSpec(name="rd", kind="router"),
+    ]
+    access = dict(rate_bps=50e6, delay=0.001, queue_limit=100)
+    links = [
+        # Primary path ra-rb-rd (two 8 Mbps bottlenecks, 20 ms total) and a
+        # higher-latency alternate ra-rc-rd the delay-metric routing ignores.
+        GraphLinkSpec(a="ra", b="rb", rate_bps=8e6, delay=0.010, queue_limit=40),
+        GraphLinkSpec(a="rb", b="rd", rate_bps=8e6, delay=0.010, queue_limit=40),
+        GraphLinkSpec(a="ra", b="rc", rate_bps=6e6, delay=0.030, queue_limit=40),
+        GraphLinkSpec(a="rc", b="rd", rate_bps=6e6, delay=0.030, queue_limit=40),
+        GraphLinkSpec(a="src", b="ra", **access),
+        GraphLinkSpec(a="sink", b="rd", **access),
+        # Cross traffic x loads ra-rb, y loads rb-rd.
+        GraphLinkSpec(a="xs", b="ra", **access),
+        GraphLinkSpec(a="xd", b="rb", **access),
+        GraphLinkSpec(a="ys", b="rb", **access),
+        GraphLinkSpec(a="yd", b="rd", **access),
+    ]
+    apps: List[AppSpec] = []
+    for index in range(3):
+        port = 5001 + index
+        apps.append(AppSpec(app="tcp_listener", host="sink",
+                            label=f"listener{index}", params={"port": port}))
+        apps.append(AppSpec(
+            app="tcp_sender", host="src", peer="sink", label=f"flow{index}",
+            params={"variant": "cm", "port": port, "transfer_bytes": 1_200_000,
+                    "receive_window": 256 * 1024, "start_at": 1.5 * index},
+        ))
+    churn = {"arrival": "weibull", "rate": 1.2, "weibull_shape": 0.8,
+             "min_bytes": 12_000, "pareto_alpha": 1.5, "max_bytes": 300_000,
+             "max_active": 6}
+    return ScenarioSpec(
+        name="mesh_macroflow_sharing",
+        description=(
+            "Mesh with two 8 Mbps bottleneck hops and an ignored higher-latency "
+            "alternate path: three staggered TCP/CM transfers plus bursty Weibull "
+            "flow churn share the src->sink macroflow while independent churn loads "
+            "each bottleneck segment."
+        ),
+        graph=GraphSpec(nodes=nodes, links=links),
+        apps=apps,
+        workloads=[
+            WorkloadSpec(kind="tcp_flows", host="src", peer="sink", label="macroflow_churn",
+                         params=dict(churn, port_base=21_000)),
+            WorkloadSpec(kind="tcp_flows", host="xs", peer="xd", label="hop_a_churn",
+                         params=dict(churn, rate=1.0)),
+            WorkloadSpec(kind="tcp_flows", host="ys", peer="yd", label="hop_b_churn",
+                         params=dict(churn, rate=1.0)),
+        ],
+        stop=StopSpec(until=12.0),
+        metrics=("apps", "links"),
+        seed=9,
+    )
+
+
 def libcm_poll_streaming() -> ScenarioSpec:
     """Layered streaming with the application polling libcm from a timer loop."""
     return _libcm_streaming("poll")
@@ -215,6 +402,9 @@ PRESETS: Dict[str, Callable[[], ScenarioSpec]] = {
     "libcm_poll_streaming": libcm_poll_streaming,
     "libcm_select_streaming": libcm_select_streaming,
     "dumbbell_bulk": dumbbell_bulk,
+    "parking_lot_mix": parking_lot_mix,
+    "star_web_churn": star_web_churn,
+    "mesh_macroflow_sharing": mesh_macroflow_sharing,
 }
 
 

@@ -37,6 +37,9 @@ class ScenarioResult:
     apps: List[Dict[str, Any]] = field(default_factory=list)
     links: List[Dict[str, Any]] = field(default_factory=list)
     hosts: List[Dict[str, Any]] = field(default_factory=list)
+    #: Aggregate measurements of each stochastic workload generator,
+    #: populated only when the spec carries a ``workloads:`` block.
+    workloads: List[Dict[str, Any]] = field(default_factory=list)
     #: Deterministic per-probe time series and event counts, populated only
     #: when the spec carries a ``telemetry:`` block (see docs/telemetry.md).
     telemetry: Dict[str, Any] = field(default_factory=dict)
@@ -44,9 +47,10 @@ class ScenarioResult:
     def payload(self) -> Dict[str, Any]:
         """The deterministic JSON-able content of the result.
 
-        The ``telemetry`` key appears only when a telemetry block produced
-        data, so results of telemetry-detached runs render byte-identically
-        to pre-telemetry results.
+        The ``workloads`` and ``telemetry`` keys appear only when the
+        corresponding block produced data, so results of scenarios without
+        them render byte-identically to results from before the blocks
+        existed.
         """
         payload = {
             "name": self.name,
@@ -57,6 +61,8 @@ class ScenarioResult:
             "links": [dict(entry) for entry in self.links],
             "hosts": [dict(entry) for entry in self.hosts],
         }
+        if self.workloads:
+            payload["workloads"] = [dict(entry) for entry in self.workloads]
         if self.telemetry:
             payload["telemetry"] = dict(self.telemetry)
         return payload
@@ -85,6 +91,14 @@ class ScenarioResult:
             if entry["label"] == label:
                 return entry
         raise KeyError(f"no app labelled {label!r}; have {[e['label'] for e in self.apps]}")
+
+    def workload(self, label: str) -> Dict[str, Any]:
+        """Look up one workload generator's entry by its label."""
+        for entry in self.workloads:
+            if entry["label"] == label:
+                return entry
+        raise KeyError(
+            f"no workload labelled {label!r}; have {[e['label'] for e in self.workloads]}")
 
 
 def spec_digest(spec: ScenarioSpec) -> str:
@@ -129,6 +143,20 @@ def validate_result_payload(payload: Any) -> List[str]:
             for key in required:
                 if key not in entry:
                     problems.append(f"{group}[{index}] missing key {key!r}")
+    # The workloads section is optional (only scenarios with a workloads:
+    # block emit it), but when present its entries must be well-formed.
+    if "workloads" in payload:
+        entries = payload["workloads"]
+        if not isinstance(entries, list):
+            problems.append("'workloads' must be a list")
+        else:
+            for index, entry in enumerate(entries):
+                if not isinstance(entry, dict):
+                    problems.append(f"workloads[{index}] must be an object")
+                    continue
+                for key in ("kind", "host", "label", "metrics"):
+                    if key not in entry:
+                        problems.append(f"workloads[{index}] missing key {key!r}")
     return problems
 
 
@@ -169,6 +197,9 @@ def _collect(scenario: Scenario, duration: float) -> ScenarioResult:
         if scenario.dumbbell is not None:
             result.links.append(_link_metrics("bottleneck", scenario.dumbbell.bottleneck))
             result.links.append(_link_metrics("bottleneck-rev", scenario.dumbbell.bottleneck_reverse))
+        if scenario.graph_net is not None:
+            for (a, b), link in scenario.graph_net.links.items():
+                result.links.append(_link_metrics(f"{a}->{b}", link))
     if "hosts" in groups:
         for name, host in scenario.hosts.items():
             costs = host.costs
@@ -178,6 +209,13 @@ def _collect(scenario: Scenario, duration: float) -> ScenarioResult:
                 entry["cpu_utilization"] = costs.utilization(duration) if duration > 0 else 0.0
                 entry["cpu_by_category_us"] = dict(sorted(costs.ledger.snapshot().items()))
             result.hosts.append(entry)
+    for workload in scenario.workloads:
+        result.workloads.append({
+            "kind": workload.spec.kind,
+            "host": workload.spec.host,
+            "label": workload.label,
+            "metrics": workload.metrics(),
+        })
     telemetry = scenario.telemetry
     if telemetry is not None and telemetry.in_result:
         result.telemetry = telemetry.payload()
@@ -205,6 +243,8 @@ def run_built(scenario: Scenario) -> ScenarioResult:
 
     for app in scenario.apps:
         app.start()
+    for workload in scenario.workloads:
+        workload.start()
 
     stop = spec.stop
     horizon = start + stop.until
@@ -223,6 +263,10 @@ def run_built(scenario: Scenario) -> ScenarioResult:
 
     if scenario.telemetry is not None:
         scenario.telemetry.stop()
+    # Workloads stop first: their teardown detaches the apps they spawned
+    # and folds the survivors' counters into the workload metrics.
+    for workload in scenario.workloads:
+        workload.stop()
     for app in scenario.apps:
         app.stop()
     result = _collect(scenario, duration=sim.now - start)

@@ -36,13 +36,18 @@ __all__ = [
     "HostSpec",
     "LinkSpec",
     "DumbbellSpec",
+    "GraphNodeSpec",
+    "GraphLinkSpec",
+    "GraphSpec",
     "AppSpec",
+    "WorkloadSpec",
     "StopSpec",
     "TelemetrySpec",
     "ScenarioSpec",
     "CM_CONTROLLERS",
     "CM_SCHEDULERS",
     "METRIC_GROUPS",
+    "NODE_KINDS",
     "TELEMETRY_EVENT_RECORDERS",
 ]
 
@@ -57,6 +62,9 @@ METRIC_GROUPS: Tuple[str, ...] = ("apps", "links", "hosts")
 
 #: Bounded recorder shapes a telemetry block may route events into.
 TELEMETRY_EVENT_RECORDERS: Tuple[str, ...] = ("ring", "reservoir")
+
+#: Node roles a graph topology may declare.
+NODE_KINDS: Tuple[str, ...] = ("host", "router")
 
 
 class SpecError(ValueError):
@@ -319,6 +327,293 @@ class DumbbellSpec:
 
 
 @dataclass
+class GraphNodeSpec:
+    """One named node of a graph topology: an end system or a router.
+
+    Hosts carry applications, CPU cost ledgers and (optionally) a Congestion
+    Manager; routers only forward.  ``addr`` defaults to ``10.<i+1>.0.1``
+    where ``i`` counts the *host* nodes declared before this one (routers
+    default to ``router:<name>``, which never appears in a packet header).
+    """
+
+    name: str
+    kind: str = "host"
+    addr: str = ""
+    costs: bool = True
+    cm: bool = False
+    cm_controller: str = "aimd_window"
+    cm_scheduler: str = "round_robin"
+
+    def validate(self, path: str) -> None:
+        _require(isinstance(self.name, str) and bool(self.name), path,
+                 "node name must be a non-empty string")
+        _require(self.kind in NODE_KINDS, f"{path}.kind",
+                 f"unknown node kind {self.kind!r}; choose from {', '.join(NODE_KINDS)}")
+        _require(isinstance(self.addr, str), f"{path}.addr", "must be a string")
+        _require(isinstance(self.costs, bool), f"{path}.costs", "must be a boolean")
+        _require(isinstance(self.cm, bool), f"{path}.cm", "must be a boolean")
+        if self.kind == "router":
+            _require(not self.cm, f"{path}.cm",
+                     "routers cannot run a Congestion Manager (the CM is an end-system module)")
+        _require(self.cm_controller in CM_CONTROLLERS, f"{path}.cm_controller",
+                 f"unknown controller {self.cm_controller!r}; choose from {', '.join(CM_CONTROLLERS)}")
+        _require(self.cm_scheduler in CM_SCHEDULERS, f"{path}.cm_scheduler",
+                 f"unknown scheduler {self.cm_scheduler!r}; choose from {', '.join(CM_SCHEDULERS)}")
+
+    def _key(self) -> tuple:
+        return (self.name, self.kind, self.addr, _kv(self.costs), _kv(self.cm),
+                self.cm_controller, self.cm_scheduler)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class GraphLinkSpec:
+    """A bidirectional link between two named graph nodes.
+
+    Semantics match :class:`LinkSpec` (one :class:`~repro.netsim.link.Link`
+    per direction, ``seed_offset`` staggering the loss RNGs, ``loss_rate``
+    on the ``a -> b`` direction); there is no ``rate_schedule`` — graph
+    scenarios change conditions through workload churn instead.
+    """
+
+    a: str
+    b: str
+    rate_bps: float
+    delay: float
+    queue_limit: Optional[int] = 100
+    loss_rate: float = 0.0
+    reverse_loss_rate: Optional[float] = None
+    ecn_threshold: Optional[int] = None
+    seed_offset: int = 0
+
+    def validate(self, path: str, node_names: Sequence[str]) -> None:
+        for end, label in ((self.a, "a"), (self.b, "b")):
+            _require(end in node_names, f"{path}.{label}",
+                     f"unknown node {end!r}; declared nodes: {', '.join(node_names) or '(none)'}")
+        _require(self.a != self.b, path, f"link endpoints must differ, both are {self.a!r}")
+        _check_number(self.rate_bps, f"{path}.rate_bps", minimum=1.0)
+        _check_number(self.delay, f"{path}.delay", minimum=0.0)
+        _check_number(self.loss_rate, f"{path}.loss_rate", minimum=0.0, maximum=1.0)
+        if self.reverse_loss_rate is not None:
+            _check_number(self.reverse_loss_rate, f"{path}.reverse_loss_rate",
+                          minimum=0.0, maximum=1.0)
+        if self.queue_limit is not None:
+            _check_number(self.queue_limit, f"{path}.queue_limit", minimum=1)
+        if self.ecn_threshold is not None:
+            _check_number(self.ecn_threshold, f"{path}.ecn_threshold", minimum=1)
+        _require(isinstance(self.seed_offset, int), f"{path}.seed_offset", "must be an integer")
+
+    def _key(self) -> tuple:
+        return (self.a, self.b, _kv(self.rate_bps), _kv(self.delay),
+                _kv(self.queue_limit), _kv(self.loss_rate), _kv(self.reverse_loss_rate),
+                _kv(self.ecn_threshold), _kv(self.seed_offset))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class GraphSpec:
+    """An arbitrary topology: named nodes joined by bidirectional links.
+
+    Compiled by the builder through :func:`repro.netsim.graph.build_graph`:
+    static shortest-path routes (delay metric, deterministic name-level
+    tie-breaks) are installed into the hosts' and routers' routing tables,
+    so parking-lot, star and multi-bottleneck mesh scenarios forward
+    through the exact same :class:`~repro.iplayer.ip.IPLayer` machinery as
+    the two-host testbeds.  Applications and workloads may only be placed
+    on ``host`` nodes.
+    """
+
+    nodes: List[GraphNodeSpec] = field(default_factory=list)
+    links: List[GraphLinkSpec] = field(default_factory=list)
+
+    def node_names(self) -> List[str]:
+        """Every node name (hosts and routers), in declaration order."""
+        return [node.name for node in self.nodes]
+
+    def host_names(self) -> List[str]:
+        """Host-kind node names in declaration order (valid app placements)."""
+        return [node.name for node in self.nodes if node.kind == "host"]
+
+    def routing(self) -> Dict[str, Dict[str, str]]:
+        """The name-level next-hop tables the builder will install.
+
+        Pure function of the link set — declaration-order independent (the
+        property test layer permutes nodes/links and asserts equality).
+        """
+        from ..netsim.graph import shortest_path_next_hops
+
+        edges: Dict[Tuple[str, str], float] = {}
+        for link in self.links:
+            edges[(link.a, link.b)] = link.delay
+            edges[(link.b, link.a)] = link.delay
+        return shortest_path_next_hops(edges)
+
+    def validate(self, path: str) -> None:
+        _require(bool(self.nodes), f"{path}.nodes", "a graph needs at least one node")
+        seen: Dict[str, int] = {}
+        seen_addrs: Dict[str, str] = {}
+        host_count = 0
+        for index, node in enumerate(self.nodes):
+            node_path = f"{path}.nodes[{index}]"
+            _require(isinstance(node, GraphNodeSpec), node_path,
+                     f"expected a GraphNodeSpec, got {type(node).__name__}")
+            node.validate(node_path)
+            _require(node.name not in seen, node_path,
+                     f"duplicate node name {node.name!r} (also {path}.nodes[{seen.get(node.name)}])")
+            seen[node.name] = index
+            if node.kind == "host":
+                addr = node.addr or default_addr(host_count)
+                _require(addr not in seen_addrs, f"{node_path}.addr",
+                         f"duplicate address {addr!r} (also used by {seen_addrs.get(addr)!r})")
+                seen_addrs[addr] = node.name
+                host_count += 1
+        _require(host_count >= 1, f"{path}.nodes",
+                 "a graph needs at least one host node (routers cannot run applications)")
+        names = self.node_names()
+        adjacency: Dict[str, List[str]] = {name: [] for name in names}
+        seen_pairs: Dict[Tuple[str, str], int] = {}
+        for index, link in enumerate(self.links):
+            link_path = f"{path}.links[{index}]"
+            _require(isinstance(link, GraphLinkSpec), link_path,
+                     f"expected a GraphLinkSpec, got {type(link).__name__}")
+            link.validate(link_path, names)
+            pair = (min(link.a, link.b), max(link.a, link.b))
+            _require(pair not in seen_pairs, link_path,
+                     f"duplicate link between {link.a!r} and {link.b!r} "
+                     f"(also {path}.links[{seen_pairs.get(pair)}]); parallel links "
+                     "would make the static routing ambiguous")
+            seen_pairs[pair] = index
+            adjacency[link.a].append(link.b)
+            adjacency[link.b].append(link.a)
+        if len(names) > 1:
+            # Reject disconnected graphs eagerly: an unreachable destination
+            # would otherwise surface mid-run as a NoRouteError on the first
+            # send, far from the spec mistake that caused it.
+            reached = {names[0]}
+            frontier = [names[0]]
+            while frontier:
+                node = frontier.pop()
+                for neighbour in adjacency[node]:
+                    if neighbour not in reached:
+                        reached.add(neighbour)
+                        frontier.append(neighbour)
+            unreachable = [name for name in names if name not in reached]
+            _require(not unreachable, f"{path}.links",
+                     f"graph is disconnected: no path from {names[0]!r} to "
+                     f"{', '.join(map(repr, unreachable))}")
+
+    def _key(self) -> tuple:
+        return (tuple(node._key() for node in self.nodes),
+                tuple(link._key() for link in self.links))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "nodes": [node.to_dict() for node in self.nodes],
+            "links": [link.to_dict() for link in self.links],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], path: str = "graph") -> "GraphSpec":
+        _reject_unknown_keys(cls, data, path)
+        payload = dict(data)
+        nodes = [_from_mapping(GraphNodeSpec, item, f"{path}.nodes[{i}]")
+                 for i, item in enumerate(payload.pop("nodes", []) or [])]
+        links = [_from_mapping(GraphLinkSpec, item, f"{path}.links[{i}]")
+                 for i, item in enumerate(payload.pop("links", []) or [])]
+        return cls(nodes=nodes, links=links)
+
+
+@dataclass
+class WorkloadSpec:
+    """One stochastic traffic generator from the workload registry.
+
+    Unlike an :class:`AppSpec` — one application wired at build time — a
+    workload *churns*: driven by the event engine, it attaches application
+    instances (flows, web sessions, audio bursts) at seeded random arrival
+    times and detaches them again while the scenario runs.  ``params`` is
+    validated against the generator's declared schema in
+    :mod:`repro.workloads`.  ``start``/``stop`` bound the generator's active
+    window in simulated seconds (``stop=None`` means the scenario horizon);
+    ``seed_offset`` decorrelates multiple workloads under one run seed
+    (``0`` auto-staggers by declaration order).
+    """
+
+    kind: str
+    host: str
+    peer: str = ""
+    label: str = ""
+    start: float = 0.0
+    stop: Optional[float] = None
+    seed_offset: int = 0
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def normalized_params(self) -> Dict[str, Any]:
+        """The defaults-applied params cached by the last :meth:`validate`."""
+        cached = getattr(self, "_normalized_params", None)
+        if cached is None:
+            raise SpecError("params", f"workload {self.kind!r} has not been validated yet")
+        return cached
+
+    def validate(self, path: str, host_names: Sequence[str]) -> Dict[str, Any]:
+        """Validate, cache and return the normalized (defaults-applied) params."""
+        from ..workloads import get_workload, known_workloads, validate_workload_params
+
+        _require(isinstance(self.kind, str) and bool(self.kind), f"{path}.kind",
+                 "workload kind must be a non-empty string")
+        try:
+            workload_cls = get_workload(self.kind)
+        except KeyError:
+            raise SpecError(f"{path}.kind",
+                            f"unknown workload {self.kind!r}; registered: "
+                            f"{', '.join(known_workloads())}") from None
+        _require(self.host in host_names, f"{path}.host",
+                 f"unknown host {self.host!r}; declared hosts: {', '.join(host_names) or '(none)'}")
+        if workload_cls.needs_peer:
+            _require(bool(self.peer), f"{path}.peer",
+                     f"workload {self.kind!r} needs a peer host")
+        if self.peer:
+            _require(self.peer in host_names, f"{path}.peer",
+                     f"unknown host {self.peer!r}; declared hosts: {', '.join(host_names) or '(none)'}")
+            _require(self.peer != self.host, f"{path}.peer", "peer must differ from host")
+        _check_number(self.start, f"{path}.start", minimum=0.0)
+        if self.stop is not None:
+            _check_number(self.stop, f"{path}.stop", minimum=0.0)
+            _require(self.stop > self.start, f"{path}.stop",
+                     f"must be later than start ({self.start!r}), got {self.stop!r}")
+        _require(isinstance(self.seed_offset, int), f"{path}.seed_offset", "must be an integer")
+        _require(isinstance(self.params, dict), f"{path}.params", "must be a mapping")
+        normalized = validate_workload_params(self.kind, self.params, path=f"{path}.params")
+        self._normalized_params = normalized
+        return normalized
+
+    def _key(self) -> tuple:
+        # The registered class object joins the key so re-registering a
+        # different generator under the same kind can never serve stale
+        # cached validations (mirrors AppSpec._key).
+        from ..workloads import WORKLOADS
+
+        return (self.kind, WORKLOADS.get(self.kind), self.host, self.peer, self.label,
+                _kv(self.start), _kv(self.stop), _kv(self.seed_offset),
+                tuple(sorted((name, _kv(value)) for name, value in self.params.items())))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "host": self.host,
+            "peer": self.peer,
+            "label": self.label,
+            "start": self.start,
+            "stop": self.stop,
+            "seed_offset": self.seed_offset,
+            "params": dict(self.params),
+        }
+
+
+@dataclass
 class AppSpec:
     """One application instance from the registry.
 
@@ -518,7 +813,9 @@ class ScenarioSpec:
     hosts: List[HostSpec] = field(default_factory=list)
     links: List[LinkSpec] = field(default_factory=list)
     dumbbell: Optional[DumbbellSpec] = None
+    graph: Optional[GraphSpec] = None
     apps: List[AppSpec] = field(default_factory=list)
+    workloads: List[WorkloadSpec] = field(default_factory=list)
     stop: StopSpec = field(default_factory=StopSpec)
     telemetry: Optional[TelemetrySpec] = None
     metrics: Tuple[str, ...] = ("apps",)
@@ -529,7 +826,7 @@ class ScenarioSpec:
     #: field, with bools disambiguated from numbers), so per-trial re-runs
     #: of ``validate`` collapse to one dict probe; the stored value is the
     #: defaults-applied params of each app, re-attached on a hit.
-    _VALIDATION_CACHE: ClassVar[Dict[tuple, Tuple[Dict[str, Any], ...]]] = {}
+    _VALIDATION_CACHE: ClassVar[Dict[tuple, Tuple[tuple, tuple]]] = {}
     _VALIDATION_CACHE_MAX: ClassVar[int] = 512
 
     def __post_init__(self) -> None:
@@ -540,16 +837,25 @@ class ScenarioSpec:
         """All host names the apps/links may reference, in build order."""
         if self.dumbbell is not None:
             return self.dumbbell.host_names()
+        if self.graph is not None:
+            return self.graph.host_names()
         return [host.name for host in self.hosts]
 
     def _key(self) -> tuple:
+        # Every validated field must appear here: the validation memo serves
+        # cached results for equal keys, so a field the key omits would let
+        # two different specs collide (the workload/graph regression test in
+        # tests/test_scenario_spec.py guards exactly that).
         dumbbell = self.dumbbell
+        graph = self.graph
         telemetry = self.telemetry
         return (self.name, self.description,
                 tuple(host._key() for host in self.hosts),
                 tuple(link._key() for link in self.links),
                 dumbbell._key() if dumbbell is not None else None,
+                graph._key() if graph is not None else None,
                 tuple(app._key() for app in self.apps),
+                tuple(workload._key() for workload in self.workloads),
                 self.stop._key(),
                 telemetry._key() if telemetry is not None else None,
                 self.metrics, _kv(self.seed))
@@ -570,8 +876,11 @@ class ScenarioSpec:
         if key is not None:
             cached = cache.get(key)
             if cached is not None:
-                for app, params in zip(self.apps, cached):
+                app_params, workload_params = cached
+                for app, params in zip(self.apps, app_params):
                     app._normalized_params = dict(params)
+                for workload, params in zip(self.workloads, workload_params):
+                    workload._normalized_params = dict(params)
                 return self
         _require(isinstance(self.name, str) and bool(self.name), "name",
                  "scenario name must be a non-empty string")
@@ -579,7 +888,14 @@ class ScenarioSpec:
         if self.dumbbell is not None:
             _require(not self.hosts and not self.links, "dumbbell",
                      "a dumbbell scenario generates its hosts; drop the explicit hosts/links")
+            _require(self.graph is None, "graph",
+                     "a scenario declares either a dumbbell or a graph, not both")
             self.dumbbell.validate("dumbbell")
+        elif self.graph is not None:
+            _require(not self.hosts and not self.links, "graph",
+                     "a graph scenario declares its nodes/links inside the graph block; "
+                     "drop the explicit hosts/links")
+            self.graph.validate("graph")
         else:
             _require(bool(self.hosts), "hosts", "need at least one host (or a dumbbell)")
             seen_names: Dict[str, int] = {}
@@ -607,6 +923,15 @@ class ScenarioSpec:
                          f"duplicate label {app.label!r} (also apps[{seen_labels.get(app.label)}]); "
                          "labels address app entries in the result, so they must be unique")
                 seen_labels[app.label] = index
+        seen_workload_labels: Dict[str, int] = {}
+        for index, workload in enumerate(self.workloads):
+            workload.validate(f"workloads[{index}]", names)
+            if workload.label:
+                _require(workload.label not in seen_workload_labels, f"workloads[{index}].label",
+                         f"duplicate label {workload.label!r} "
+                         f"(also workloads[{seen_workload_labels.get(workload.label)}]); "
+                         "labels address workload entries in the result, so they must be unique")
+                seen_workload_labels[workload.label] = index
         self.stop.validate("stop")
         if self.telemetry is not None:
             self.telemetry.validate("telemetry")
@@ -616,7 +941,10 @@ class ScenarioSpec:
         if key is not None:
             if len(cache) >= ScenarioSpec._VALIDATION_CACHE_MAX:
                 cache.clear()
-            cache[key] = tuple(dict(app._normalized_params) for app in self.apps)
+            cache[key] = (
+                tuple(dict(app._normalized_params) for app in self.apps),
+                tuple(dict(workload._normalized_params) for workload in self.workloads),
+            )
         return self
 
     def seal(self) -> "ScenarioSpec":
@@ -632,9 +960,11 @@ class ScenarioSpec:
         if getattr(self, "_is_sealed", False):
             return self
         self.validate()
-        children: List[Any] = [*self.hosts, *self.links, *self.apps, self.stop]
+        children: List[Any] = [*self.hosts, *self.links, *self.apps, *self.workloads, self.stop]
         if self.dumbbell is not None:
             children.append(self.dumbbell)
+        if self.graph is not None:
+            children.extend([*self.graph.nodes, *self.graph.links, self.graph])
         if self.telemetry is not None:
             children.append(self.telemetry)
         for child in children:
@@ -646,9 +976,9 @@ class ScenarioSpec:
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON rendering; ``from_dict(to_dict(spec))`` == ``spec``.
 
-        The ``telemetry`` key is only present when a telemetry block is
-        configured, so specs without one render (and digest) exactly as
-        they did before the block existed.
+        The ``telemetry``, ``graph`` and ``workloads`` keys are only present
+        when the corresponding block is configured, so specs without them
+        render (and digest) exactly as they did before the blocks existed.
         """
         payload = {
             "name": self.name,
@@ -661,6 +991,10 @@ class ScenarioSpec:
             "metrics": list(self.metrics),
             "seed": self.seed,
         }
+        if self.graph is not None:
+            payload["graph"] = self.graph.to_dict()
+        if self.workloads:
+            payload["workloads"] = [workload.to_dict() for workload in self.workloads]
         if self.telemetry is not None:
             payload["telemetry"] = self.telemetry.to_dict()
         return payload
@@ -680,8 +1014,12 @@ class ScenarioSpec:
         dumbbell_data = payload.pop("dumbbell", None)
         dumbbell = (_from_mapping(DumbbellSpec, dumbbell_data, "dumbbell")
                     if dumbbell_data is not None else None)
+        graph_data = payload.pop("graph", None)
+        graph = GraphSpec.from_dict(graph_data, "graph") if graph_data is not None else None
         apps = [_from_mapping(AppSpec, item, f"apps[{i}]")
                 for i, item in enumerate(payload.pop("apps", []) or [])]
+        workloads = [_from_mapping(WorkloadSpec, item, f"workloads[{i}]")
+                     for i, item in enumerate(payload.pop("workloads", []) or [])]
         stop_data = payload.pop("stop", None)
         stop = _from_mapping(StopSpec, stop_data, "stop") if stop_data is not None else StopSpec()
         telemetry_data = payload.pop("telemetry", None)
@@ -700,7 +1038,9 @@ class ScenarioSpec:
             hosts=hosts,
             links=links,
             dumbbell=dumbbell,
+            graph=graph,
             apps=apps,
+            workloads=workloads,
             stop=stop,
             telemetry=telemetry,
             metrics=metrics,

@@ -106,6 +106,9 @@ class ScenarioTelemetry:
         if scenario.dumbbell is not None:
             links.append(("bottleneck", scenario.dumbbell.bottleneck))
             links.append(("bottleneck-rev", scenario.dumbbell.bottleneck_reverse))
+        if scenario.graph_net is not None:
+            for (a, b), link in scenario.graph_net.links.items():
+                links.append((f"{a}->{b}", link))
         for _label, link in links:
             link.attach_telemetry(hub)
         for name, host in scenario.hosts.items():

@@ -1,0 +1,57 @@
+"""Seeded stochastic traffic generators for the scenario layer.
+
+Where an :class:`~repro.scenario.spec.AppSpec` wires one application at
+build time, a workload *churns*: driven by the event engine, it attaches
+application instances from the :mod:`repro.scenario.applications` registry
+at random (but seeded, hence reproducible) arrival times and detaches them
+again while the scenario runs.  This is what stresses the Congestion
+Manager's central claim — stable, fair aggregation of congestion state —
+under realistic conditions: flows joining half-built macroflows, macroflows
+emptying and re-populating, congestion state outliving the last flow on a
+path.
+
+Three generator families ship with the package:
+
+``tcp_flows``
+    Poisson or Weibull flow arrivals of TCP/CM (or Reno) transfers with
+    heavy-tailed (bounded-Pareto) sizes — the classic elephant/mice mix.
+``web_sessions``
+    Web-browsing sessions against a ``web_server`` peer: geometric request
+    trains, exponential think times, Pareto response sizes.
+``vat_onoff``
+    On/off interactive audio: each on-burst attaches a fresh vat instance
+    (opening a new CM flow), each off-period detaches it.
+
+Registering a new generator is one :class:`~repro.workloads.base.Workload`
+subclass plus a :func:`register_workload` decorator — the spec validator,
+builder and CLI ``list`` output all pick it up from here, exactly like the
+application registry.
+"""
+
+from .arrivals import bounded_pareto, geometric, make_interarrival
+from .base import (
+    WORKLOADS,
+    Workload,
+    describe_workloads,
+    get_workload,
+    known_workloads,
+    register_workload,
+    validate_workload_params,
+)
+from .generators import TcpFlowChurn, VatOnOffBurst, WebSessionChurn
+
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "register_workload",
+    "get_workload",
+    "known_workloads",
+    "describe_workloads",
+    "validate_workload_params",
+    "make_interarrival",
+    "bounded_pareto",
+    "geometric",
+    "TcpFlowChurn",
+    "WebSessionChurn",
+    "VatOnOffBurst",
+]

@@ -1,0 +1,83 @@
+"""Seeded random processes the workload generators draw from.
+
+Every function takes the generator's private :class:`random.Random`, so a
+workload's whole trajectory is a pure function of ``(spec, run seed)`` —
+the same determinism contract every experiment artifact follows.  Only
+stdlib distributions are used (``expovariate``, ``weibullvariate``,
+``random``), all of which are stable across the supported CPython versions,
+which is what lets the preset golden files be byte-compared in CI.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable
+
+__all__ = ["ARRIVAL_PROCESSES", "make_interarrival", "bounded_pareto", "geometric"]
+
+#: Inter-arrival process names a workload's ``arrival`` parameter may pick.
+ARRIVAL_PROCESSES = ("poisson", "weibull")
+
+
+def make_interarrival(
+    rng: random.Random,
+    arrival: str,
+    rate: float,
+    weibull_shape: float = 1.5,
+) -> Callable[[], float]:
+    """A zero-argument sampler of inter-arrival gaps with mean ``1/rate``.
+
+    ``"poisson"`` draws exponential gaps (memoryless arrivals);
+    ``"weibull"`` keeps the same mean but shapes the burstiness:
+    ``weibull_shape < 1`` clusters arrivals (heavy-tailed gaps, the
+    flash-crowd pattern), ``> 1`` regularises them.
+    """
+    if rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate!r}")
+    if arrival == "poisson":
+        return lambda: rng.expovariate(rate)
+    if arrival == "weibull":
+        if weibull_shape <= 0:
+            raise ValueError(f"weibull shape must be positive, got {weibull_shape!r}")
+        # E[Weibull(scale, k)] = scale * Gamma(1 + 1/k); solve for the scale
+        # that gives mean 1/rate so "rate" means the same thing either way.
+        scale = 1.0 / (rate * math.gamma(1.0 + 1.0 / weibull_shape))
+        return lambda: rng.weibullvariate(scale, weibull_shape)
+    raise ValueError(
+        f"unknown arrival process {arrival!r}; choose from {', '.join(ARRIVAL_PROCESSES)}"
+    )
+
+
+def bounded_pareto(rng: random.Random, minimum: int, alpha: float, maximum: int) -> int:
+    """A heavy-tailed integer draw in ``[minimum, maximum]``.
+
+    Pareto with shape ``alpha`` scaled by ``minimum`` — the standard model
+    for web object and flow sizes (most transfers are mice, a few are
+    elephants) — clipped at ``maximum`` so a single draw cannot outlive any
+    plausible scenario horizon.
+    """
+    if minimum < 1:
+        raise ValueError(f"minimum size must be >= 1, got {minimum!r}")
+    if maximum < minimum:
+        raise ValueError(f"maximum {maximum!r} must be >= minimum {minimum!r}")
+    if alpha <= 0:
+        raise ValueError(f"pareto alpha must be positive, got {alpha!r}")
+    draw = minimum * rng.paretovariate(alpha)
+    return int(min(float(maximum), draw))
+
+
+def geometric(rng: random.Random, mean: float) -> int:
+    """A geometric draw with the given mean, always at least 1.
+
+    Models the number of requests in a web session: sessions of one fetch
+    are the most common, long trains exponentially rarer.
+    """
+    if mean < 1.0:
+        raise ValueError(f"geometric mean must be >= 1, got {mean!r}")
+    if mean == 1.0:
+        return 1
+    # P(K = k) = (1-p)^(k-1) p with p = 1/mean; invert the CDF.
+    p = 1.0 / mean
+    u = rng.random()
+    return 1 + int(math.log(1.0 - u) / math.log(1.0 - p))

@@ -1,0 +1,237 @@
+"""Flow-churn edge cases against the Congestion Manager.
+
+The stochastic workload layer attaches and detaches flows while grants are
+in flight, drains macroflows completely and re-populates them, and leaves
+congestion state behind on paths whose last flow closed.  These tests pin
+the manager-level invariants that churn leans on:
+
+* closing a flow with a pending (undelivered) grant releases the window
+  reservation and lets sibling flows use it;
+* a grant callback that fires after ``cm_close`` finds a dead handle — the
+  documented client contract is to decline via ``cm_notify`` and swallow
+  the resulting error, never to be granted silently;
+* an emptied macroflow retains its congestion state and hands it to the
+  next flow to the same destination (Figure 7's behaviour), until the idle
+  timeout expires it.
+"""
+
+import pytest
+
+from repro.core.constants import CM_NO_CONGESTION
+from repro.core.errors import UnknownFlowError
+from repro.core.manager import CongestionManager
+from repro.hostmodel import HostCosts
+from repro.netsim import Host, Simulator
+
+DST = "10.2.0.1"
+
+
+def make_cm(**kwargs) -> CongestionManager:
+    sim = Simulator()
+    host = Host(sim, "churnhost", "10.1.0.1", costs=HostCosts())
+    return CongestionManager(host, feedback_watchdog=False, **kwargs)
+
+
+def open_flow(cm: CongestionManager, sport: int, callback=None) -> int:
+    flow_id = cm.cm_open("10.1.0.1", DST, sport, 80, "tcp")
+    cm.cm_register_send(flow_id, callback if callback is not None else lambda fid: None)
+    return flow_id
+
+
+class TestDetachMidGrant:
+    def test_close_with_pending_grant_releases_the_reservation(self):
+        cm = make_cm()
+        granted = []
+        f1 = open_flow(cm, 1001, granted.append)
+        f2 = open_flow(cm, 1002, granted.append)
+        macroflow = cm.macroflow_of(f1)
+
+        cm.cm_request(f1)
+        assert macroflow.reserved_bytes == macroflow.mtu  # grant issued, not delivered
+        cm.cm_close(f1)  # the app detaches before the deferred callback runs
+        assert macroflow.reserved_bytes == 0.0
+
+        # The freed window must be grantable to the surviving sibling: with a
+        # 1-MTU initial window a leaked reservation would starve f2 forever.
+        cm.cm_request(f2)
+        cm.sim.run()
+        assert f2 in granted
+
+    def test_grant_callback_firing_after_close_sees_dead_handle(self):
+        cm = make_cm()
+        outcomes = []
+
+        def decline_like_a_client(flow_id):
+            # CMTCPSender's documented contract: a grant arriving after close
+            # is declined via cm_notify(flow, 0), and the client swallows the
+            # unknown/closed-flow error because the race is benign.
+            try:
+                cm.cm_notify(flow_id, 0)
+                outcomes.append("notified")
+            except UnknownFlowError:
+                outcomes.append("unknown")
+
+        f1 = open_flow(cm, 1001, decline_like_a_client)
+        cm.cm_request(f1)
+        cm.cm_close(f1)
+        cm.sim.run()  # the deferred cmapp_send fires now, after the close
+        assert outcomes == ["unknown"]
+
+    def test_closed_flow_entries_in_scheduler_consume_no_window(self):
+        cm = make_cm()
+        granted = []
+        f1 = open_flow(cm, 1001, granted.append)
+        f2 = open_flow(cm, 1002, granted.append)
+        macroflow = cm.macroflow_of(f1)
+        # Queue several requests for f1, then close it: the stale scheduler
+        # entries must be skipped without burning grant allowance.
+        macroflow.controller._cwnd = float(4 * macroflow.mtu)
+        cm.cm_request(f1, count=3)
+        cm.sim.run()
+        granted.clear()
+        cm.cm_close(f1)
+        cm.cm_request(f2, count=2)
+        cm.sim.run()
+        assert granted == [f2, f2]
+
+
+class TestMacroflowDrainAndRepopulate:
+    def _grow_window(self, cm, flow_id, rounds=4):
+        macroflow = cm.macroflow_of(flow_id)
+        for _ in range(rounds):
+            nbytes = int(macroflow.grant_allowance(64)) * macroflow.mtu or macroflow.mtu
+            cm.cm_notify(flow_id, nbytes)
+            cm.cm_update(flow_id, nbytes, nbytes, CM_NO_CONGESTION, 0.05)
+        return macroflow.controller.cwnd
+
+    def test_empty_macroflow_retains_state_for_the_next_flow(self):
+        cm = make_cm()
+        f1 = open_flow(cm, 1001)
+        macroflow = cm.macroflow_of(f1)
+        grown = self._grow_window(cm, f1)
+        assert grown > macroflow.mtu  # the window actually opened
+
+        cm.cm_close(f1)
+        assert macroflow.is_empty
+
+        f2 = open_flow(cm, 1002)
+        assert cm.macroflow_of(f2) is macroflow  # same aggregate, not a new one
+        assert macroflow.controller.cwnd == grown  # Figure 7: no fresh slow start
+
+    def test_repopulating_cancels_the_scheduled_expiry(self):
+        cm = make_cm(macroflow_idle_timeout=1.0)
+        f1 = open_flow(cm, 1001)
+        macroflow = cm.macroflow_of(f1)
+        cm.cm_close(f1)
+        f2 = open_flow(cm, 1002)
+
+        cm.sim.schedule(5.0, lambda: None)  # idle the clock past the timeout
+        cm.sim.run()
+        assert macroflow in cm.macroflows  # expiry was cancelled by the re-add
+        assert cm.macroflow_of(f2) is macroflow
+
+    def test_state_after_last_flow_leaves_expires_on_the_idle_timeout(self):
+        cm = make_cm(macroflow_idle_timeout=1.0)
+        f1 = open_flow(cm, 1001)
+        macroflow = cm.macroflow_of(f1)
+        grown = self._grow_window(cm, f1)
+        cm.cm_close(f1)
+
+        # Within the timeout the state is retained...
+        cm.sim.run(until=0.5)
+        assert macroflow in cm.macroflows
+
+        # ...and past it the macroflow is gone; a new flow to the same
+        # destination starts from a fresh 1-MTU window.
+        cm.sim.schedule(2.0, lambda: None)
+        cm.sim.run()
+        assert macroflow not in cm.macroflows
+        f2 = open_flow(cm, 1003)
+        fresh = cm.macroflow_of(f2)
+        assert fresh is not macroflow
+        assert fresh.controller.cwnd == fresh.mtu < grown
+
+    def test_drained_macroflow_has_no_inflight_residue(self):
+        cm = make_cm()
+        f1 = open_flow(cm, 1001)
+        macroflow = cm.macroflow_of(f1)
+        cm.cm_request(f1)
+        cm.cm_notify(f1, 500)  # bytes left the host, never acknowledged
+        cm.cm_close(f1)
+        assert macroflow.outstanding_bytes == 0.0
+        assert macroflow.reserved_bytes == 0.0
+
+
+class TestChurnThroughTheScenarioLayer:
+    """End-to-end: the tcp_flows generator leaves the CM tables clean."""
+
+    @pytest.mark.parametrize("variant", ["cm", "reno"])
+    def test_churned_flows_all_leave_the_cm(self, variant):
+        from repro.scenario import (
+            HostSpec,
+            LinkSpec,
+            ScenarioSpec,
+            StopSpec,
+            WorkloadSpec,
+        )
+        from repro.scenario.builder import build
+        from repro.scenario.runner import run_built
+
+        spec = ScenarioSpec(
+            name=f"churn_clean_{variant}",
+            hosts=[HostSpec(name="src", cm=True), HostSpec(name="dst")],
+            links=[LinkSpec(a="src", b="dst", rate_bps=20e6, delay=0.005)],
+            workloads=[WorkloadSpec(
+                kind="tcp_flows", host="src", peer="dst",
+                params={"rate": 6.0, "variant": variant, "min_bytes": 5_000,
+                        "max_bytes": 50_000, "reap_interval": 0.1},
+            )],
+            stop=StopSpec(until=4.0),
+            seed=11,
+        )
+        scenario = build(spec, seed=11)
+        result = run_built(scenario)
+        metrics = result.workload("tcp_flows[0]")["metrics"]
+        assert metrics["flows_started"] > 5
+        # Every churned flow was detached: no CM flow table residue, and the
+        # destination host holds no leftover TCP handlers from the listeners.
+        assert scenario.hosts["src"].cm.open_flow_count == 0
+        registered_tcp = [key for key in scenario.hosts["dst"].ip._handlers
+                          if key[0] == "tcp"]
+        assert registered_tcp == []
+
+    def test_macroflow_survives_total_flow_drain_mid_run(self):
+        from repro.scenario import (
+            HostSpec,
+            LinkSpec,
+            ScenarioSpec,
+            StopSpec,
+            WorkloadSpec,
+        )
+        from repro.scenario.builder import build
+        from repro.scenario.runner import run_built
+
+        # A sparse arrival process on a fast link guarantees moments where
+        # zero flows are active; the per-destination macroflow must persist
+        # across them (idle timeout default is much longer than the gaps).
+        spec = ScenarioSpec(
+            name="drain_refill",
+            hosts=[HostSpec(name="src", cm=True), HostSpec(name="dst")],
+            links=[LinkSpec(a="src", b="dst", rate_bps=50e6, delay=0.002)],
+            workloads=[WorkloadSpec(
+                kind="tcp_flows", host="src", peer="dst",
+                params={"rate": 1.5, "min_bytes": 4_000, "max_bytes": 20_000,
+                        "reap_interval": 0.05},
+            )],
+            stop=StopSpec(until=6.0),
+            seed=4,
+        )
+        scenario = build(spec, seed=4)
+        result = run_built(scenario)
+        metrics = result.workload("tcp_flows[0]")["metrics"]
+        assert metrics["flows_completed"] >= 3
+        cm = scenario.hosts["src"].cm
+        # One shared macroflow served every generation of churned flows.
+        keyed = [mf for mf in cm.macroflows if mf.key is not None]
+        assert len(keyed) == 1
+        assert keyed[0].bytes_acked_total >= metrics["bytes_acked"]

@@ -1,0 +1,80 @@
+"""Golden determinism for the graph/workload presets.
+
+Like ``tests/golden/figure3_smoke_seeds3.json`` for the experiment runner,
+these files pin the *byte-exact* output of the three graph+workload presets
+at their default seeds.  Any change to the spec tree, the graph compiler,
+the routing tie-breaks, the workload RNG derivation or the arrival/size
+distributions shows up here as a diff — which is exactly the point: those
+are all load-bearing determinism contracts now.
+
+The same-seed and jobs=N invariants mirror the experiment layer: repeat
+runs are byte-identical, traces are byte-identical, and the ``scale``
+experiment reduces to the same bytes no matter how its trials are sharded.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.scenario import get_preset, run
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+#: (preset, seed) pairs with a checked-in golden result.
+GOLDEN_PRESETS = (
+    ("parking_lot_mix", 21),
+    ("star_web_churn", 5),
+    ("mesh_macroflow_sharing", 9),
+)
+
+
+def golden_path(name: str, seed: int) -> str:
+    return os.path.join(GOLDEN_DIR, f"{name}.seed{seed}.json")
+
+
+class TestGoldenPresets:
+    @pytest.mark.parametrize("name,seed", GOLDEN_PRESETS)
+    def test_preset_matches_checked_in_golden_bytes(self, name, seed):
+        spec = get_preset(name)
+        assert spec.seed == seed, "golden filename encodes the preset's default seed"
+        produced = run(spec, seed=seed).to_json()
+        with open(golden_path(name, seed), "r", encoding="utf-8") as fh:
+            golden = fh.read()
+        assert produced == golden
+
+    @pytest.mark.parametrize("name,seed", GOLDEN_PRESETS)
+    def test_same_seed_rerun_is_byte_identical(self, name, seed):
+        spec = get_preset(name)
+        assert run(spec, seed=seed).to_json() == run(spec, seed=seed).to_json()
+
+    def test_goldens_are_not_vacuous(self):
+        # The pinned results must actually contain churn: a regression that
+        # silently stopped the workloads would otherwise still "match".
+        with open(golden_path("parking_lot_mix", 21), "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        flows = sum(entry["metrics"]["flows_started"] for entry in payload["workloads"])
+        assert flows > 10
+        assert any(entry["link"] == "r1->r2" for entry in payload["links"])
+
+    @pytest.mark.parametrize("name,seed", GOLDEN_PRESETS[:1])
+    def test_trace_files_are_byte_identical_across_runs(self, tmp_path, name, seed):
+        spec = get_preset(name)
+        trace_a = tmp_path / "a.jsonl"
+        trace_b = tmp_path / "b.jsonl"
+        run(spec, seed=seed, trace_path=str(trace_a))
+        run(spec, seed=seed, trace_path=str(trace_b))
+        assert trace_a.read_bytes() == trace_b.read_bytes()
+        assert trace_a.stat().st_size > 0
+
+
+class TestScaleExperimentSharding:
+    def test_scale_smoke_jobs2_matches_jobs1_byte_for_byte(self):
+        from repro.experiments import scale
+        from repro.experiments.parallel import run_trials
+
+        specs = scale.trials(host_counts=(2, 3), duration=4.0, seeds=(1, 2))
+        serial = scale.reduce(run_trials(specs, jobs=1)).to_json()
+        pooled = scale.reduce(run_trials(specs, jobs=2)).to_json()
+        assert serial == pooled
+        assert '"jain_fairness"' in serial

@@ -1,0 +1,255 @@
+"""Property tests (hypothesis) for GraphSpec / WorkloadSpec and routing.
+
+Three contracts the graph/workload subsystem promises:
+
+* any *valid* spec round-trips ``to_dict`` / ``from_dict`` byte-identically
+  (canonical JSON equality, not just ``==``);
+* unknown keys are rejected *by name* at every nesting level;
+* the static routing tables are a pure function of the link set —
+  permuting the declaration order of nodes and links changes nothing.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.graph import shortest_path_next_hops
+from repro.scenario import (
+    GraphLinkSpec,
+    GraphNodeSpec,
+    GraphSpec,
+    HostSpec,
+    LinkSpec,
+    ScenarioSpec,
+    SpecError,
+    StopSpec,
+    WorkloadSpec,
+)
+
+# ---------------------------------------------------------------- strategies
+
+names = st.integers(min_value=0, max_value=25).map(lambda i: f"n{i}")
+
+
+@st.composite
+def graph_specs(draw):
+    """Arbitrary *valid* connected graphs: 2-8 nodes, a spanning tree plus
+    random extra links, mixed host/router kinds (>= 1 host)."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    node_names = [f"n{i}" for i in range(n)]
+    kinds = draw(st.lists(st.sampled_from(["host", "router"]), min_size=n, max_size=n))
+    if "host" not in kinds:
+        kinds[draw(st.integers(min_value=0, max_value=n - 1))] = "host"
+    nodes = [
+        GraphNodeSpec(
+            name=name,
+            kind=kind,
+            cm=draw(st.booleans()) if kind == "host" else False,
+            costs=draw(st.booleans()) if kind == "host" else True,
+        )
+        for name, kind in zip(node_names, kinds)
+    ]
+    # A random spanning tree keeps the graph connected; extra random links
+    # (deduped, no self-loops) exercise multi-path routing.
+    pairs = []
+    for i in range(1, n):
+        j = draw(st.integers(min_value=0, max_value=i - 1))
+        pairs.append((node_names[j], node_names[i]))
+    extra = draw(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=n - 1),
+                  st.integers(min_value=0, max_value=n - 1)),
+        max_size=5,
+    ))
+    seen = {tuple(sorted(p)) for p in pairs}
+    for i, j in extra:
+        if i == j:
+            continue
+        key = tuple(sorted((node_names[i], node_names[j])))
+        if key in seen:
+            continue
+        seen.add(key)
+        pairs.append((node_names[i], node_names[j]))
+    links = [
+        GraphLinkSpec(
+            a=a,
+            b=b,
+            rate_bps=float(draw(st.integers(min_value=1, max_value=10_000))) * 1e3,
+            delay=draw(st.integers(min_value=0, max_value=200)) / 1_000.0,
+            queue_limit=draw(st.one_of(st.none(), st.integers(min_value=1, max_value=500))),
+            loss_rate=draw(st.integers(min_value=0, max_value=100)) / 1_000.0,
+            ecn_threshold=draw(st.one_of(st.none(), st.integers(min_value=1, max_value=50))),
+            seed_offset=draw(st.integers(min_value=0, max_value=64)),
+        )
+        for a, b in pairs
+    ]
+    return GraphSpec(nodes=nodes, links=links)
+
+
+@st.composite
+def workload_specs(draw):
+    """Arbitrary valid workload blocks against a fixed two-host topology."""
+    kind = draw(st.sampled_from(["tcp_flows", "web_sessions", "vat_onoff"]))
+    params = {}
+    if kind in ("tcp_flows", "web_sessions"):
+        params["arrival"] = draw(st.sampled_from(["poisson", "weibull"]))
+        params["rate"] = draw(st.integers(min_value=1, max_value=50)) / 10.0
+    if kind == "tcp_flows":
+        params["variant"] = "reno"  # host needs no CM; spec-level property only
+        params["min_bytes"] = draw(st.integers(min_value=1_000, max_value=50_000))
+    start = draw(st.integers(min_value=0, max_value=5)) / 2.0
+    stop = draw(st.one_of(st.none(), st.integers(min_value=1, max_value=10)))
+    if stop is not None:
+        stop = start + float(stop)
+    return WorkloadSpec(
+        kind=kind,
+        host="a",
+        peer="b",
+        label=draw(st.sampled_from(["", "w0", "churn"])),
+        start=start,
+        stop=stop,
+        seed_offset=draw(st.integers(min_value=0, max_value=8)),
+        params=params,
+    )
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def graph_scenario(graph: GraphSpec) -> ScenarioSpec:
+    return ScenarioSpec(name="prop", graph=graph, stop=StopSpec(until=1.0))
+
+
+# ------------------------------------------------------------------- tests
+
+
+class TestGraphSpecProperties:
+    @given(graph_specs())
+    @settings(deadline=None, max_examples=60,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_valid_graphs_round_trip_byte_identically(self, graph):
+        spec = graph_scenario(graph)
+        spec.validate()
+        first = canonical(spec.to_dict())
+        reparsed = ScenarioSpec.from_dict(json.loads(first))
+        reparsed.validate()
+        assert canonical(reparsed.to_dict()) == first
+
+    @given(graph_specs(), st.randoms(use_true_random=False))
+    @settings(deadline=None, max_examples=60,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_routing_invariant_under_declaration_order_permutation(self, graph, rnd):
+        baseline = graph.routing()
+        shuffled_nodes = list(graph.nodes)
+        shuffled_links = list(graph.links)
+        rnd.shuffle(shuffled_nodes)
+        rnd.shuffle(shuffled_links)
+        permuted = GraphSpec(nodes=shuffled_nodes, links=shuffled_links)
+        assert permuted.routing() == baseline
+
+    @given(graph_specs())
+    @settings(deadline=None, max_examples=30,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_routing_reaches_every_node_pair(self, graph):
+        # Validation guarantees connectivity, so every (src, dst) pair must
+        # have a next hop that is a declared neighbour of src.
+        table = graph.routing()
+        neighbours = {name: set() for name in graph.node_names()}
+        for link in graph.links:
+            neighbours[link.a].add(link.b)
+            neighbours[link.b].add(link.a)
+        for src in graph.node_names():
+            for dst in graph.node_names():
+                if src == dst:
+                    continue
+                assert table[src][dst] in neighbours[src]
+
+    def test_unknown_graph_key_rejected_by_name(self):
+        payload = graph_scenario(GraphSpec(
+            nodes=[GraphNodeSpec(name="a"), GraphNodeSpec(name="b")],
+            links=[GraphLinkSpec(a="a", b="b", rate_bps=1e6, delay=0.01)],
+        )).to_dict()
+        payload["graph"]["topology"] = "ring"
+        with pytest.raises(SpecError, match="'topology'"):
+            ScenarioSpec.from_dict(payload)
+
+    def test_unknown_node_key_rejected_by_name(self):
+        payload = graph_scenario(GraphSpec(
+            nodes=[GraphNodeSpec(name="a"), GraphNodeSpec(name="b")],
+            links=[GraphLinkSpec(a="a", b="b", rate_bps=1e6, delay=0.01)],
+        )).to_dict()
+        payload["graph"]["nodes"][0]["role"] = "gateway"
+        with pytest.raises(SpecError, match="'role'"):
+            ScenarioSpec.from_dict(payload)
+
+    def test_unknown_graph_link_key_rejected_by_name(self):
+        payload = graph_scenario(GraphSpec(
+            nodes=[GraphNodeSpec(name="a"), GraphNodeSpec(name="b")],
+            links=[GraphLinkSpec(a="a", b="b", rate_bps=1e6, delay=0.01)],
+        )).to_dict()
+        payload["graph"]["links"][0]["rate_schedule"] = [[1.0, 2e6]]
+        with pytest.raises(SpecError, match="'rate_schedule'"):
+            ScenarioSpec.from_dict(payload)
+
+
+class TestWorkloadSpecProperties:
+    @given(workload_specs())
+    @settings(deadline=None, max_examples=60,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_valid_workloads_round_trip_byte_identically(self, workload):
+        spec = ScenarioSpec(
+            name="prop",
+            hosts=[HostSpec(name="a"), HostSpec(name="b")],
+            links=[LinkSpec(a="a", b="b", rate_bps=1e6, delay=0.01)],
+            workloads=[workload],
+            stop=StopSpec(until=1.0),
+        )
+        spec.validate()
+        first = canonical(spec.to_dict())
+        reparsed = ScenarioSpec.from_dict(json.loads(first))
+        reparsed.validate()
+        assert canonical(reparsed.to_dict()) == first
+
+    def test_unknown_workload_key_rejected_by_name(self):
+        spec = ScenarioSpec(
+            name="prop",
+            hosts=[HostSpec(name="a"), HostSpec(name="b")],
+            links=[LinkSpec(a="a", b="b", rate_bps=1e6, delay=0.01)],
+            workloads=[WorkloadSpec(kind="tcp_flows", host="a", peer="b")],
+            stop=StopSpec(until=1.0),
+        )
+        payload = spec.to_dict()
+        payload["workloads"][0]["burstiness"] = 2.0
+        with pytest.raises(SpecError, match="'burstiness'"):
+            ScenarioSpec.from_dict(payload)
+
+    def test_unknown_workload_param_rejected_by_name(self):
+        spec = WorkloadSpec(kind="tcp_flows", host="a", peer="b",
+                            params={"flowrate": 3.0})
+        with pytest.raises(SpecError, match="'flowrate'"):
+            spec.validate("workloads[0]", ["a", "b"])
+
+
+class TestShortestPathProperties:
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=9),
+                  st.integers(min_value=0, max_value=9),
+                  st.integers(min_value=0, max_value=100)),
+        min_size=1, max_size=30,
+    ))
+    @settings(deadline=None, max_examples=60)
+    def test_next_hop_tables_are_edge_order_independent(self, triples):
+        edges = {}
+        for i, j, d in triples:
+            if i == j:
+                continue
+            a, b = f"v{i}", f"v{j}"
+            edges[(a, b)] = d / 1000.0
+            edges[(b, a)] = d / 1000.0
+        if not edges:
+            return
+        forward = shortest_path_next_hops(edges)
+        reversed_insertion = dict(reversed(list(edges.items())))
+        assert shortest_path_next_hops(reversed_insertion) == forward

@@ -52,6 +52,24 @@ class TestWorkloads:
         assert result.speedup is not None and result.speedup > 0
         assert "ScenarioSpec" in result.notes
 
+    def test_graph_build_benchmark_row(self):
+        result = harness.bench_graph_build(builds=5, repeats=1)
+        assert result.ops == 5
+        assert result.wall_s > 0
+        assert result.speedup is None  # no seed baseline existed for graphs
+        payload = result.to_dict()
+        assert payload["nodes"] > 30
+        assert payload["links"] > 40
+        assert "shortest-path" in payload["notes"]
+
+    def test_workload_churn_benchmark_row(self):
+        result = harness.bench_workload_churn(duration=1.0, repeats=1)
+        # ops = flows attached+detached; at 40/s over 1 simulated second the
+        # generator must have churned a nontrivial number of flows.
+        assert result.ops >= 10
+        assert result.wall_s > 0
+        assert "attach" in result.notes
+
     def test_scenario_build_holds_the_perf_floor(self):
         # The declarative compile path (memoized sealed pair specs +
         # content-keyed validation cache) must stay within 10% of the

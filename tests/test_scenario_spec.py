@@ -264,6 +264,41 @@ class TestValidationCacheSoundness:
         with pytest.raises(SpecError, match="port"):
             validate_params("tcp_listener", {"port": 5001.0})
 
+    def test_specs_differing_only_in_workload_params_never_collide(self):
+        # Regression: the memo key predates the workloads block; if the key
+        # omitted it, validating a good spec would let an otherwise-equal
+        # spec with *invalid* workload params sail through on the cache hit.
+        from repro.scenario import WorkloadSpec
+
+        def spec_with(rate):
+            return minimal_spec(workloads=[WorkloadSpec(
+                kind="tcp_flows", host="a", peer="b", params={"rate": rate})])
+
+        spec_with(2.0).validate()
+        with pytest.raises(SpecError, match="rate"):
+            spec_with("fast").validate()
+        # And two valid-but-different workload params get distinct results.
+        spec = spec_with(3.5)
+        spec.validate()
+        assert spec.workloads[0].normalized_params()["rate"] == 3.5
+
+    def test_specs_differing_only_in_graph_never_collide(self):
+        from repro.scenario import GraphLinkSpec, GraphNodeSpec, GraphSpec
+
+        def graph_spec(delay):
+            return ScenarioSpec(
+                name="memo_graph",
+                graph=GraphSpec(
+                    nodes=[GraphNodeSpec(name="a"), GraphNodeSpec(name="b")],
+                    links=[GraphLinkSpec(a="a", b="b", rate_bps=1e6, delay=delay)],
+                ),
+                stop=StopSpec(until=1.0),
+            )
+
+        graph_spec(0.01).validate()
+        with pytest.raises(SpecError, match="delay"):
+            graph_spec(-0.5).validate()
+
     def test_reregistered_application_invalidates_cached_params(self):
         from repro.scenario.applications import APPLICATIONS, Param, register_application
         from repro.scenario.applications import Application

@@ -1,0 +1,195 @@
+"""Unit tests for the workload registry and its random processes."""
+
+import math
+import random
+
+import pytest
+
+from repro.workloads import (
+    bounded_pareto,
+    describe_workloads,
+    geometric,
+    get_workload,
+    known_workloads,
+    make_interarrival,
+    validate_workload_params,
+)
+from repro.scenario.spec import SpecError
+
+
+class TestArrivalProcesses:
+    def test_poisson_mean_matches_rate(self):
+        rng = random.Random(7)
+        draw = make_interarrival(rng, "poisson", rate=4.0)
+        gaps = [draw() for _ in range(20_000)]
+        assert abs(sum(gaps) / len(gaps) - 0.25) < 0.01
+
+    def test_weibull_mean_matches_rate_for_any_shape(self):
+        for shape in (0.7, 1.0, 2.5):
+            rng = random.Random(11)
+            draw = make_interarrival(rng, "weibull", rate=2.0, weibull_shape=shape)
+            gaps = [draw() for _ in range(20_000)]
+            assert abs(sum(gaps) / len(gaps) - 0.5) < 0.02, shape
+
+    def test_weibull_low_shape_is_burstier(self):
+        # Burstiness = dispersion of the gaps; shape<1 must have a heavier
+        # tail than shape>1 at the same mean.
+        def cv(shape):
+            rng = random.Random(3)
+            draw = make_interarrival(rng, "weibull", rate=1.0, weibull_shape=shape)
+            gaps = [draw() for _ in range(20_000)]
+            mean = sum(gaps) / len(gaps)
+            var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+            return math.sqrt(var) / mean
+
+        assert cv(0.6) > cv(2.0)
+
+    def test_same_seed_same_trajectory(self):
+        a = make_interarrival(random.Random(5), "poisson", 3.0)
+        b = make_interarrival(random.Random(5), "poisson", 3.0)
+        assert [a() for _ in range(50)] == [b() for _ in range(50)]
+
+    def test_invalid_arguments_rejected(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError, match="rate"):
+            make_interarrival(rng, "poisson", 0.0)
+        with pytest.raises(ValueError, match="shape"):
+            make_interarrival(rng, "weibull", 1.0, weibull_shape=-1.0)
+        with pytest.raises(ValueError, match="unknown arrival"):
+            make_interarrival(rng, "uniform", 1.0)
+
+
+class TestSizeDistributions:
+    def test_bounded_pareto_respects_bounds(self):
+        rng = random.Random(13)
+        draws = [bounded_pareto(rng, 1_000, 1.2, 50_000) for _ in range(5_000)]
+        assert min(draws) >= 1_000
+        assert max(draws) <= 50_000
+        # Heavy tail: the cap must actually bind sometimes.
+        assert any(d == 50_000 for d in draws)
+
+    def test_bounded_pareto_argument_checks(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError, match="minimum"):
+            bounded_pareto(rng, 0, 1.5, 100)
+        with pytest.raises(ValueError, match="maximum"):
+            bounded_pareto(rng, 100, 1.5, 50)
+        with pytest.raises(ValueError, match="alpha"):
+            bounded_pareto(rng, 100, 0.0, 500)
+
+    def test_geometric_mean_and_floor(self):
+        rng = random.Random(17)
+        draws = [geometric(rng, 4.0) for _ in range(20_000)]
+        assert min(draws) >= 1
+        assert abs(sum(draws) / len(draws) - 4.0) < 0.1
+        assert geometric(rng, 1.0) == 1
+        with pytest.raises(ValueError, match="mean"):
+            geometric(rng, 0.5)
+
+
+class TestRegistry:
+    def test_bundled_generators_registered(self):
+        assert known_workloads() == ["tcp_flows", "vat_onoff", "web_sessions"]
+
+    def test_get_workload_unknown_kind_lists_registry(self):
+        with pytest.raises(KeyError, match="tcp_flows"):
+            get_workload("smoke_signals")
+
+    def test_describe_workloads_summarises_params(self):
+        rows = {name: (desc, params) for name, desc, params in describe_workloads()}
+        assert "tcp_flows" in rows
+        desc, params = rows["tcp_flows"]
+        assert desc
+        assert any(line.startswith("rate (float, default=1.0)") for line in params)
+        assert any("one of poisson/weibull" in line for line in params)
+
+    def test_validate_params_applies_defaults(self):
+        normalized = validate_workload_params("tcp_flows", {"rate": 3.0})
+        assert normalized["rate"] == 3.0
+        assert normalized["arrival"] == "poisson"
+        assert normalized["max_active"] == 16
+
+    def test_validate_params_rejects_by_name(self):
+        with pytest.raises(SpecError, match="'burst_rate'"):
+            validate_workload_params("tcp_flows", {"burst_rate": 2.0})
+        with pytest.raises(SpecError, match="arrival"):
+            validate_workload_params("tcp_flows", {"arrival": "uniform"})
+        with pytest.raises(SpecError, match="rate"):
+            validate_workload_params("tcp_flows", {"rate": "fast"})
+
+    def test_out_of_range_params_fail_eagerly(self):
+        # Regression: a zero reap interval used to pass validation and then
+        # hang the run (the reap tick rescheduled itself at +0.0 forever);
+        # zero-mean draws crashed mid-run in expovariate.  All of these must
+        # be path-qualified SpecErrors at validation time.
+        for kind, bad in (
+            ("tcp_flows", {"reap_interval": 0.0}),
+            ("tcp_flows", {"rate": 0.0}),
+            ("tcp_flows", {"rate": -2.0}),
+            ("tcp_flows", {"min_bytes": 0}),
+            ("tcp_flows", {"pareto_alpha": 0.0}),
+            ("tcp_flows", {"max_active": 0}),
+            ("web_sessions", {"think_mean": 0.0}),
+            ("web_sessions", {"requests_mean": 0.5}),
+            ("vat_onoff", {"mean_on": 0.0}),
+            ("vat_onoff", {"buffer_frames": 0}),
+        ):
+            with pytest.raises(SpecError, match=f"params.{list(bad)[0]}"):
+                validate_workload_params(kind, bad)
+
+    def test_size_bounds_cross_check_reported_at_build(self):
+        from repro.scenario import (
+            HostSpec,
+            LinkSpec,
+            ScenarioSpec,
+            StopSpec,
+            WorkloadSpec,
+            build,
+        )
+
+        spec = ScenarioSpec(
+            name="inverted_sizes",
+            hosts=[HostSpec(name="a", cm=True), HostSpec(name="b")],
+            links=[LinkSpec(a="a", b="b", rate_bps=1e6, delay=0.01)],
+            workloads=[WorkloadSpec(kind="tcp_flows", host="a", peer="b",
+                                    params={"min_bytes": 9_000, "max_bytes": 100})],
+            stop=StopSpec(until=1.0),
+        )
+        with pytest.raises(SpecError, match="max_bytes .* min_bytes"):
+            build(spec, seed=1)
+
+    def test_validate_params_cache_serves_copies(self):
+        first = validate_workload_params("web_sessions", {"rate": 2.0})
+        first["rate"] = 99.0  # mutating the returned dict must not poison the memo
+        second = validate_workload_params("web_sessions", {"rate": 2.0})
+        assert second["rate"] == 2.0
+
+    def test_reregistered_workload_invalidates_cached_params(self):
+        from repro.scenario.applications import Param
+        from repro.workloads import WORKLOADS, Workload, register_workload
+
+        class FakeLoad(Workload):
+            name = "cache_fake_wl"
+            PARAMS = {"n": Param(int, default=1)}
+
+        register_workload(FakeLoad)
+        try:
+            assert validate_workload_params("cache_fake_wl", {}) == {"n": 1}
+
+            class FakeLoad2(Workload):
+                name = "cache_fake_wl"
+                PARAMS = {"n": Param(int, default=99)}
+
+            register_workload(FakeLoad2)
+            assert validate_workload_params("cache_fake_wl", {}) == {"n": 99}
+        finally:
+            WORKLOADS.pop("cache_fake_wl", None)
+
+    def test_register_requires_a_name(self):
+        from repro.workloads import Workload, register_workload
+
+        class Nameless(Workload):
+            pass
+
+        with pytest.raises(ValueError, match="registry name"):
+            register_workload(Nameless)
