@@ -9,6 +9,12 @@ Each experiment run can be persisted as two files in a ``--json-dir``:
 * ``<name>.meta.json`` — the provenance sidecar: seeds, jobs, git revision,
   wall clock, trial/cache counters, python version, timestamp.  Everything
   that varies between equivalent runs lives here, never in the payload.
+
+Since PR 6 every write can also *register* the artifact in the shared
+result store (:mod:`repro.results`): pass ``store=`` explicitly (a path or
+an open :class:`~repro.results.ResultStore`) or set the
+``REPRO_RESULT_STORE`` environment variable to a database path and every
+artifact written anywhere in the process lands in the store too.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 
 from .base import ExperimentResult
 
-__all__ = ["git_revision", "build_provenance", "write_artifacts", "read_artifact"]
+__all__ = ["git_revision", "build_provenance", "write_artifacts", "register_artifact", "read_artifact"]
 
 
 def git_revision() -> str:
@@ -64,8 +70,15 @@ def build_provenance(
     }
 
 
-def write_artifacts(result: ExperimentResult, json_dir: str) -> Tuple[str, str]:
-    """Write ``<name>.json`` + ``<name>.meta.json`` under ``json_dir``."""
+def write_artifacts(result: ExperimentResult, json_dir: str, store=None) -> Tuple[str, str]:
+    """Write ``<name>.json`` + ``<name>.meta.json`` under ``json_dir``.
+
+    ``store`` (a path, an open :class:`repro.results.ResultStore`, or the
+    ``REPRO_RESULT_STORE`` environment variable as the fallback) registers
+    the payload + provenance in the shared result store after the files
+    land.  Registration is strictly additive: the artifact bytes on disk
+    are written first and never depend on the store.
+    """
     os.makedirs(json_dir, exist_ok=True)
     payload_path = os.path.join(json_dir, f"{result.name}.json")
     meta_path = os.path.join(json_dir, f"{result.name}.meta.json")
@@ -74,7 +87,34 @@ def write_artifacts(result: ExperimentResult, json_dir: str) -> Tuple[str, str]:
     with open(meta_path, "w", encoding="utf-8") as handle:
         json.dump(result.provenance, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    register_artifact(result, source=os.path.basename(payload_path), store=store)
     return payload_path, meta_path
+
+
+def register_artifact(result: ExperimentResult, source: Optional[str] = None, store=None):
+    """Record an experiment result in the shared result store, if one is wired.
+
+    Resolution order: an explicit ``store`` (path or open store), then the
+    ``REPRO_RESULT_STORE`` environment variable, else a no-op.  Returns the
+    :class:`repro.results.IngestReport` or ``None`` when no store is wired.
+    """
+    from ..results.store import ResultStore
+
+    opened = None
+    if store is None:
+        path = os.environ.get("REPRO_RESULT_STORE")
+        if not path:
+            return None
+        store = opened = ResultStore(path)
+    elif isinstance(store, str):
+        store = opened = ResultStore(store)
+    try:
+        return store.ingest_experiment_payload(
+            result.payload(), provenance=result.provenance or None, source=source
+        )
+    finally:
+        if opened is not None:
+            opened.close()
 
 
 def read_artifact(payload_path: str) -> ExperimentResult:

@@ -114,6 +114,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--no-cache", action="store_true", help="disable the on-disk trial cache")
     parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DB",
+        help="register written artifacts in this sqlite result store "
+             "(implies nothing without --json-dir; REPRO_RESULT_STORE is the env fallback)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="reduced workloads for CI smoke runs (same code paths, smaller sweeps)",
@@ -153,8 +160,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             continue
         print(result.to_text())
         if args.json_dir:
-            payload_path, meta_path = artifacts.write_artifacts(result, args.json_dir)
+            payload_path, meta_path = artifacts.write_artifacts(
+                result, args.json_dir, store=args.store
+            )
             print(f"(wrote {payload_path} and {meta_path})", file=sys.stderr)
+        elif args.store:
+            artifacts.register_artifact(result, source=f"{name}.json", store=args.store)
+            print(f"(registered {name} in {args.store})", file=sys.stderr)
         print(f"({name} completed in {time.time() - started:.1f}s wall clock)\n")
     if cache is not None and not args.quiet:
         print(

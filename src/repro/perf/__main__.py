@@ -1,7 +1,11 @@
 """Command-line entry point: ``PYTHONPATH=src python -m repro.perf``.
 
 CI runs ``--quick`` and uploads the JSON artifact; developers run the full
-size before/after touching a hot path.
+size before/after touching a hot path.  The report label is derived
+(``REPRO_BENCH_LABEL`` env var, else the next PR number after the
+checked-in ``BENCH_PR<k>.json`` history) so neither this module nor the CI
+workflow needs editing every PR; ``--store`` additionally ingests the
+report into a :class:`repro.results.ResultStore` database.
 """
 
 from __future__ import annotations
@@ -9,6 +13,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..results.labels import derive_bench_label
 from .harness import format_report, run_benchmarks, write_report
 
 
@@ -21,24 +26,40 @@ def main(argv=None) -> int:
         "--quick", action="store_true", help="small workloads for CI smoke runs"
     )
     parser.add_argument(
-        "--output", default="BENCH_PR5.json", help="where to write the JSON report"
+        "--output", default=None,
+        help="where to write the JSON report (default: <label>.json)",
     )
     parser.add_argument(
-        "--label", default="BENCH_PR5", help="label recorded in the report metadata"
+        "--label", default=None,
+        help="label recorded in the report metadata (default: derived from the "
+             "REPRO_BENCH_LABEL env var or the checked-in BENCH_PR<k>.json history)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DB",
+        help="also ingest the report into this sqlite result store",
     )
     args = parser.parse_args(argv)
 
+    label = args.label if args.label is not None else derive_bench_label()
+    output = args.output if args.output is not None else f"{label}.json"
+
     # Fail before spending minutes benchmarking if the report can't be written.
     try:
-        with open(args.output, "a", encoding="utf-8"):
+        with open(output, "a", encoding="utf-8"):
             pass
     except OSError as exc:
-        parser.error(f"cannot write --output {args.output}: {exc}")
+        parser.error(f"cannot write --output {output}: {exc}")
 
-    report = run_benchmarks(quick=args.quick, label=args.label)
-    write_report(report, args.output)
+    report = run_benchmarks(quick=args.quick, label=label)
+    write_report(report, output)
     print(format_report(report))
-    print(f"wrote {args.output}")
+    print(f"wrote {output}")
+    if args.store:
+        from ..results.store import ResultStore
+
+        with ResultStore(args.store) as store:
+            outcome = store.ingest_bench_report(report, source=output)
+        print(f"result store {args.store}: {outcome.summary()}")
     return 0
 
 

@@ -524,6 +524,57 @@ def bench_telemetry_overhead(duration: float, repeats: int) -> BenchResult:
 
 
 # ====================================================================== #
+# Result store: BENCH-report ingestion throughput                        #
+# ====================================================================== #
+def bench_result_store(reports: int, repeats: int) -> BenchResult:
+    """Ingestion cost of the sqlite result store (PR 6's fleet backbone).
+
+    Each iteration ingests ``reports`` synthetic BENCH-shaped reports (9
+    rows each, mirroring the real harness output) into a fresh in-memory
+    store — the fixed per-artifact cost the CI perf-regression job and
+    every ``--store`` flag pay.  ops = benchmark rows landed.
+    """
+    from ..results.store import ResultStore
+
+    row_names = [f"bench_{index}" for index in range(9)]
+
+    def report_for(index: int) -> dict:
+        return {
+            "meta": {"label": f"BENCH_PR{index + 1}", "quick": False, "python": "3.11.7",
+                     "implementation": "CPython", "platform": "bench", "timestamp": ""},
+            "benchmarks": {
+                name: {"ops": 1000 + index, "wall_s": 0.5, "ops_per_sec": 2000.0 + index,
+                       "baseline_wall_s": 1.0, "baseline_ops_per_sec": 1000.0,
+                       "speedup": 2.0, "notes": "synthetic"}
+                for name in row_names
+            },
+        }
+
+    payloads = [report_for(index) for index in range(reports)]
+    total_rows = reports * len(row_names)
+
+    def once() -> float:
+        store = ResultStore(":memory:")
+        start = time.perf_counter()
+        for payload in payloads:
+            store.ingest_bench_report(payload)
+        elapsed = time.perf_counter() - start
+        store.close()
+        return elapsed
+
+    wall = _best_of(once, repeats)
+    return BenchResult(
+        name="result_store_ingest",
+        ops=total_rows,
+        wall_s=wall,
+        notes=(
+            f"{reports} synthetic BENCH reports x {len(row_names)} rows into an in-memory "
+            "sqlite store; ops = benchmark rows ingested"
+        ),
+    )
+
+
+# ====================================================================== #
 # Parallel experiment runner: trial sharding across a process pool       #
 # ====================================================================== #
 def bench_experiments_parallel(
@@ -563,16 +614,27 @@ def bench_experiments_parallel(
 #: Workload sizes: (event_churn_n, timer_restart_n, grant_flows,
 #: grant_requests_per_flow, figure3_bytes, parallel_seeds,
 #: parallel_transfer_bytes, scenario_builds, telemetry_duration,
-#: graph_builds, churn_duration, repeats)
-_FULL = (200_000, 200_000, 64, 256, 500_000, 8, 200_000, 2_000, 10.0, 300, 5.0, 5)
-_QUICK = (30_000, 30_000, 32, 64, 100_000, 4, 60_000, 400, 4.0, 60, 2.0, 3)
+#: graph_builds, churn_duration, store_reports, repeats)
+_FULL = (200_000, 200_000, 64, 256, 500_000, 8, 200_000, 2_000, 10.0, 300, 5.0, 200, 5)
+_QUICK = (30_000, 30_000, 32, 64, 100_000, 4, 60_000, 400, 4.0, 60, 2.0, 40, 3)
 
 
-def run_benchmarks(quick: bool = False, label: str = "BENCH_PR1") -> dict:
-    """Run every benchmark and return the JSON-ready report dict."""
+def run_benchmarks(quick: bool = False, label: Optional[str] = None) -> dict:
+    """Run every benchmark and return the JSON-ready report dict.
+
+    ``label`` defaults to :func:`repro.results.labels.derive_bench_label`
+    (``REPRO_BENCH_LABEL`` env var, else the next PR number after the
+    checked-in ``BENCH_PR<k>.json`` history) so neither callers nor the CI
+    workflow hard-code a PR number.
+    """
+    from ..results.labels import derive_bench_label
+
+    if label is None:
+        label = derive_bench_label()
     sizes = _QUICK if quick else _FULL
     (churn_n, timer_n, grant_flows, grant_reqs, fig3_bytes, par_seeds, par_bytes,
-     scenario_builds, telemetry_duration, graph_builds, churn_duration, repeats) = sizes
+     scenario_builds, telemetry_duration, graph_builds, churn_duration, store_reports,
+     repeats) = sizes
     pool_jobs = max(2, min(4, os.cpu_count() or 1))
     results = [
         bench_event_churn(churn_n, repeats),
@@ -583,12 +645,16 @@ def run_benchmarks(quick: bool = False, label: str = "BENCH_PR1") -> dict:
         bench_graph_build(graph_builds, repeats),
         bench_workload_churn(churn_duration, repeats),
         bench_telemetry_overhead(telemetry_duration, repeats),
+        bench_result_store(store_reports, repeats),
         bench_experiments_parallel(par_seeds, par_bytes, pool_jobs, min(repeats, 2)),
     ]
+    from ..experiments.artifacts import git_revision
+
     return {
         "meta": {
             "label": label,
             "quick": quick,
+            "git_revision": git_revision(),
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
             "platform": platform.platform(),

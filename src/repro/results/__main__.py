@@ -1,0 +1,8 @@
+"""Module entry point: ``PYTHONPATH=src python -m repro.results``."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,205 @@
+"""Cross-PR analytics over the result store: compare labels, gate regressions.
+
+The regression gate (:func:`check_regressions`) is deliberately conservative
+about what it compares.  ``ops_per_sec`` is only meaningful between runs of
+the same workload size on the same interpreter, so a candidate row is
+checked against the best prior row whose
+
+* benchmark **name** matches,
+* **quick** flag matches (quick workloads are smaller, not just faster), and
+* **machine fingerprint** matches — interpreter implementation, python
+  major.minor series and platform string; a different machine or python
+  changes absolute throughput far more than any code regression would (the
+  checked-in ``BENCH_PR1..PR5`` history itself swings x2 between build
+  containers on some rows).
+
+Rows with no comparable baseline are reported as *skipped with a reason*,
+never silently dropped and never failed: a CI quick run on python 3.12
+cannot be honestly judged against a full-size 3.11 history, and pretending
+otherwise would make the gate cry wolf until someone turned it off.  The
+gate's math itself is pinned by fixture tests (a 30 % slowdown must trip at
+``--max-regression 0.25``), which is where its correctness is proven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .labels import label_sort_key
+from .store import ResultStore
+
+__all__ = ["Comparison", "CheckOutcome", "CheckResult", "compare_labels", "check_regressions"]
+
+
+def _fingerprint(row: Dict) -> str:
+    """The machine/interpreter identity a throughput number is tied to."""
+    python = str(row.get("python") or "?")
+    series = ".".join(python.split(".")[:2])
+    return f"{row.get('implementation') or '?'}-{series}@{row.get('platform') or '?'}"
+
+
+@dataclass
+class Comparison:
+    """One benchmark's A-vs-B row from ``compare``."""
+
+    name: str
+    a_ops_per_sec: Optional[float]
+    b_ops_per_sec: Optional[float]
+    a_speedup: Optional[float] = None
+    b_speedup: Optional[float] = None
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """B throughput over A throughput (>1 means B is faster)."""
+        if not self.a_ops_per_sec or self.b_ops_per_sec is None:
+            return None
+        return self.b_ops_per_sec / self.a_ops_per_sec
+
+
+@dataclass
+class CheckOutcome:
+    """The gate's verdict on one candidate benchmark row."""
+
+    name: str
+    status: str  # 'ok' | 'regressed' | 'skipped'
+    candidate_ops_per_sec: Optional[float] = None
+    baseline_ops_per_sec: Optional[float] = None
+    baseline_label: Optional[str] = None
+    #: candidate / best-prior throughput (1.0 = unchanged, < 1 = slower).
+    ratio: Optional[float] = None
+    reason: str = ""
+
+
+@dataclass
+class CheckResult:
+    """Everything ``check`` decided, plus the exit-code predicate."""
+
+    candidate_label: str
+    max_regression: float
+    outcomes: List[CheckOutcome] = field(default_factory=list)
+
+    @property
+    def regressed(self) -> List[CheckOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.status == "regressed"]
+
+    @property
+    def compared(self) -> List[CheckOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.status != "skipped"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressed
+
+    def summary(self) -> str:
+        lines = [
+            f"perf check: candidate {self.candidate_label}, "
+            f"max regression {self.max_regression:.0%} "
+            f"({len(self.compared)} compared, "
+            f"{len(self.outcomes) - len(self.compared)} skipped)"
+        ]
+        for outcome in self.outcomes:
+            if outcome.status == "skipped":
+                lines.append(f"  SKIP {outcome.name:<22} {outcome.reason}")
+            else:
+                verdict = "FAIL" if outcome.status == "regressed" else "  ok"
+                lines.append(
+                    f"  {verdict} {outcome.name:<22} "
+                    f"{outcome.candidate_ops_per_sec:>14,.0f} ops/s vs best "
+                    f"{outcome.baseline_ops_per_sec:>14,.0f} ({outcome.baseline_label}) "
+                    f"= x{outcome.ratio:.3f}"
+                )
+        verdict = "PASS" if self.ok else f"FAIL ({len(self.regressed)} row(s) regressed)"
+        lines.append(f"perf check verdict: {verdict}")
+        return "\n".join(lines)
+
+
+def compare_labels(store: ResultStore, label_a: str, label_b: str) -> List[Comparison]:
+    """Row-by-row throughput comparison of two ingested bench labels."""
+    rows_a = {row["name"]: row for row in store.bench_rows(label=label_a)}
+    rows_b = {row["name"]: row for row in store.bench_rows(label=label_b)}
+    comparisons = []
+    for name in sorted(set(rows_a) | set(rows_b)):
+        a, b = rows_a.get(name), rows_b.get(name)
+        comparisons.append(Comparison(
+            name=name,
+            a_ops_per_sec=a["ops_per_sec"] if a else None,
+            b_ops_per_sec=b["ops_per_sec"] if b else None,
+            a_speedup=a["speedup"] if a else None,
+            b_speedup=b["speedup"] if b else None,
+        ))
+    return comparisons
+
+
+def check_regressions(
+    store: ResultStore,
+    candidate_label: Optional[str] = None,
+    max_regression: float = 0.25,
+    loose: bool = False,
+) -> CheckResult:
+    """Gate the candidate label's rows against the best comparable history.
+
+    ``candidate_label`` defaults to the highest label in trajectory order
+    (``BENCH_PR6`` when the store holds ``BENCH_PR1..PR6``).  Every candidate
+    row produces exactly one :class:`CheckOutcome`; the gate fails iff any
+    row's throughput is more than ``max_regression`` below the best prior
+    comparable row.  ``loose=True`` drops the platform component of the
+    fingerprint (interpreter and workload size still must match) — useful
+    for deliberate cross-machine comparisons, never for gating.
+    """
+    if not 0.0 <= max_regression < 1.0:
+        raise ValueError("max_regression must be in [0, 1)")
+    labels = store.bench_labels()
+    if not labels:
+        raise ValueError("store holds no benchmark runs to check")
+    if candidate_label is None:
+        candidate_label = labels[-1]
+    elif candidate_label not in labels:
+        raise ValueError(f"candidate label {candidate_label!r} not in store; have {labels}")
+
+    def fingerprint(row: Dict) -> str:
+        full = _fingerprint(row)
+        return full.split("@")[0] if loose else full
+
+    result = CheckResult(candidate_label=candidate_label, max_regression=max_regression)
+    candidate_rows = store.bench_rows(label=candidate_label)
+    candidate_key = label_sort_key(candidate_label)
+    prior_labels = [label for label in labels if label_sort_key(label) < candidate_key]
+
+    for row in candidate_rows:
+        name = row["name"]
+        ops_per_sec = row["ops_per_sec"]
+        if not ops_per_sec or ops_per_sec <= 0:
+            result.outcomes.append(CheckOutcome(
+                name=name, status="skipped", reason="candidate row has no throughput"))
+            continue
+        comparable = [
+            prior for prior in store.bench_rows(name=name)
+            if prior["label"] in prior_labels
+            and prior["ops_per_sec"] and prior["ops_per_sec"] > 0
+            and bool(prior["quick"]) == bool(row["quick"])
+            and fingerprint(prior) == fingerprint(row)
+        ]
+        if not comparable:
+            result.outcomes.append(CheckOutcome(
+                name=name,
+                status="skipped",
+                candidate_ops_per_sec=ops_per_sec,
+                reason=(
+                    "no prior row with the same workload size, interpreter and platform "
+                    f"(quick={bool(row['quick'])}, {_fingerprint(row).split('@')[0]})"
+                ),
+            ))
+            continue
+        best = max(comparable, key=lambda prior: prior["ops_per_sec"])
+        ratio = ops_per_sec / best["ops_per_sec"]
+        regressed = (1.0 - ratio) > max_regression
+        result.outcomes.append(CheckOutcome(
+            name=name,
+            status="regressed" if regressed else "ok",
+            candidate_ops_per_sec=ops_per_sec,
+            baseline_ops_per_sec=best["ops_per_sec"],
+            baseline_label=best["label"],
+            ratio=ratio,
+        ))
+    return result

@@ -1,0 +1,103 @@
+"""Derive PR / benchmark labels instead of hard-coding ``BENCH_PR<k>``.
+
+Through PR 5 the label was a literal in three places (the harness default,
+the ``__main__`` default and the CI workflow's artifact name), all of which
+needed hand-editing every PR.  The rules here replace that:
+
+1. an explicit environment variable always wins (``REPRO_BENCH_LABEL`` for
+   the full bench label, ``REPRO_PR_LABEL`` for the PR part);
+2. otherwise the next PR number is inferred from the checked-in
+   ``BENCH_PR<k>.json`` history: the working tree that produced
+   ``BENCH_PR1..PR5`` is, by definition, PR 6;
+3. otherwise the git revision identifies the run; ``local`` is the last
+   resort outside a checkout.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+from typing import Iterable, Optional, Tuple
+
+__all__ = ["current_pr_label", "derive_bench_label", "label_sort_key"]
+
+_BENCH_FILE_RE = re.compile(r"^BENCH_PR(\d+)\.json$")
+_PR_LABEL_RE = re.compile(r"^(?:BENCH_)?PR(\d+)$")
+
+
+def _repo_root() -> str:
+    """The repository root inferred from this module's location (src/repro/results)."""
+    return os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "..", ".."))
+
+
+def _git_short_revision() -> Optional[str]:
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
+def _max_bench_pr(directory: str) -> Optional[int]:
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        return None
+    numbers = [int(m.group(1)) for m in map(_BENCH_FILE_RE.match, entries) if m]
+    return max(numbers) if numbers else None
+
+
+def current_pr_label(baseline_dir: Optional[str] = None) -> str:
+    """The label of the PR the working tree belongs to (e.g. ``"PR6"``).
+
+    Looks for ``BENCH_PR<k>.json`` history in ``baseline_dir`` (default: the
+    current directory, then the repository root) and returns the *next*
+    number — the tree that carries history up to PR ``k`` is producing
+    artifacts for PR ``k+1``.
+    """
+    env = os.environ.get("REPRO_PR_LABEL")
+    if env:
+        return env
+    candidates = [baseline_dir] if baseline_dir is not None else [os.getcwd(), _repo_root()]
+    for directory in candidates:
+        highest = _max_bench_pr(directory)
+        if highest is not None:
+            return f"PR{highest + 1}"
+    revision = _git_short_revision()
+    if revision:
+        return f"git-{revision}"
+    return "local"
+
+
+def derive_bench_label(baseline_dir: Optional[str] = None) -> str:
+    """The label for a fresh benchmark report (e.g. ``"BENCH_PR6"``)."""
+    env = os.environ.get("REPRO_BENCH_LABEL")
+    if env:
+        return env
+    return f"BENCH_{current_pr_label(baseline_dir)}"
+
+
+def label_sort_key(label: str) -> Tuple[int, int, str]:
+    """Order labels for trajectories: ``BENCH_PR2`` < ``BENCH_PR10`` < others.
+
+    PR-numbered labels sort numerically first; anything else (git revisions,
+    ad-hoc labels) sorts after them, alphabetically.
+    """
+    match = _PR_LABEL_RE.match(label)
+    if match:
+        return (0, int(match.group(1)), label)
+    return (1, 0, label)
+
+
+def sort_labels(labels: Iterable[str]) -> list:
+    """Unique labels in trajectory order."""
+    return sorted(set(labels), key=label_sort_key)

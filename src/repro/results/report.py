@@ -1,0 +1,222 @@
+"""Render the store's cross-PR trajectory as HTML and CSV.
+
+The CSV is the machine-readable long form — exactly one row per
+``(benchmark, label)`` pair the store knows, so downstream tooling (and the
+acceptance check in CI) can assert complete coverage.  The HTML is the
+human view: a wide trajectory table (benchmarks x labels) with per-cell
+deltas against the previous label, a speedup-vs-seed table, and summaries
+of the ingested experiment / scenario / trace artifacts.  Both renderings
+are plain tables built from the same queries — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import html
+import io
+from typing import Any, Dict, List, Optional
+
+from .store import ResultStore
+
+__all__ = ["render_csv", "render_html", "write_report_files"]
+
+#: Column order of the CSV long form (one row per benchmark x label).
+CSV_COLUMNS = (
+    "benchmark", "label", "ops", "wall_s", "ops_per_sec", "baseline_ops_per_sec",
+    "speedup", "quick", "python", "implementation", "git_revision", "timestamp", "source",
+)
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif; margin: 2em auto;
+       max-width: 72em; color: #1a1f24; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; font-size: 0.85em; font-variant-numeric: tabular-nums; }
+th, td { border: 1px solid #d5dbe0; padding: 0.3em 0.6em; text-align: right; }
+th { background: #eef1f4; } td.name, th.name { text-align: left; font-weight: 600; }
+td .delta { display: block; font-size: 0.85em; color: #5a6570; }
+td.up .delta { color: #176b37; } td.down .delta { color: #a02818; }
+td.missing { background: #f6f7f8; color: #9aa4ad; }
+p.note { color: #5a6570; font-size: 0.9em; }
+"""
+
+
+def _fmt(value: Optional[float], pattern: str = "{:,.0f}") -> str:
+    if value is None:
+        return ""
+    return pattern.format(value)
+
+
+def render_csv(store: ResultStore) -> str:
+    """The trajectory as CSV text: every benchmark row of every label."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(CSV_COLUMNS)
+    trajectory = store.bench_trajectory()
+    for name in sorted(trajectory):
+        for row in trajectory[name]:
+            writer.writerow([
+                name, row["label"], row["ops"], row["wall_s"], row["ops_per_sec"],
+                row["baseline_ops_per_sec"], row["speedup"], int(bool(row["quick"])),
+                row["python"], row["implementation"], row["git_revision"],
+                row["timestamp"], row["source"],
+            ])
+    return buffer.getvalue()
+
+
+def _trajectory_table(trajectory: Dict[str, List[Dict[str, Any]]], labels: List[str]) -> str:
+    parts = ["<table><tr><th class='name'>benchmark</th>"]
+    parts += [f"<th>{html.escape(label)}</th>" for label in labels]
+    parts.append("</tr>")
+    for name in sorted(trajectory):
+        by_label = {row["label"]: row for row in trajectory[name]}
+        parts.append(f"<tr><td class='name'>{html.escape(name)}</td>")
+        previous = None
+        for label in labels:
+            row = by_label.get(label)
+            if row is None or not row["ops_per_sec"]:
+                parts.append("<td class='missing'>&mdash;</td>")
+                continue
+            ops = row["ops_per_sec"]
+            cell_class, delta = "", ""
+            if previous:
+                ratio = ops / previous
+                cell_class = "up" if ratio >= 1.02 else ("down" if ratio <= 0.98 else "")
+                delta = f"<span class='delta'>x{ratio:.2f}</span>"
+            parts.append(f"<td class='{cell_class}'>{_fmt(ops)}{delta}</td>")
+            previous = ops
+        parts.append("</tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def _speedup_table(trajectory: Dict[str, List[Dict[str, Any]]], labels: List[str]) -> str:
+    named = {
+        name: {row["label"]: row["speedup"] for row in rows if row["speedup"] is not None}
+        for name, rows in trajectory.items()
+    }
+    named = {name: by_label for name, by_label in named.items() if by_label}
+    if not named:
+        return "<p class='note'>No rows carry a seed-implementation baseline.</p>"
+    parts = ["<table><tr><th class='name'>benchmark</th>"]
+    parts += [f"<th>{html.escape(label)}</th>" for label in labels]
+    parts.append("</tr>")
+    for name in sorted(named):
+        parts.append(f"<tr><td class='name'>{html.escape(name)}</td>")
+        for label in labels:
+            speedup = named[name].get(label)
+            if speedup is None:
+                parts.append("<td class='missing'>&mdash;</td>")
+            else:
+                parts.append(f"<td>x{speedup:.2f}</td>")
+        parts.append("</tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def _experiments_section(store: ResultStore) -> str:
+    entries = store.experiment_results()
+    if not entries:
+        return ""
+    parts = ["<h2>Experiment artifacts</h2>",
+             "<table><tr><th class='name'>experiment</th><th>label</th><th>rows</th>"
+             "<th>seeds</th><th>jobs</th><th>trials (cached)</th><th>git revision</th></tr>"]
+    for entry in entries:
+        seeds = entry["seeds"]
+        trials = "" if entry["trials"] is None else (
+            f"{entry['trials']} ({entry['trials_from_cache'] or 0})")
+        parts.append(
+            f"<tr><td class='name'>{html.escape(entry['name'])}</td>"
+            f"<td>{html.escape(entry['label'])}</td><td>{len(entry['rows'])}</td>"
+            f"<td>{len(seeds) if seeds else ''}</td>"
+            f"<td>{entry['jobs'] if entry['jobs'] is not None else ''}</td>"
+            f"<td>{trials}</td>"
+            f"<td>{html.escape(str(entry['git_revision'] or ''))[:12]}</td></tr>"
+        )
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def _scenarios_section(store: ResultStore) -> str:
+    entries = store.scenario_results()
+    if not entries:
+        return ""
+    parts = ["<h2>Scenario results</h2>",
+             "<table><tr><th class='name'>scenario</th><th>label</th><th>seed</th>"
+             "<th>spec digest</th><th>simulated s</th><th>numeric metrics</th></tr>"]
+    for entry in entries:
+        n_metrics = len(store.metrics(scenario=entry["name"]))
+        parts.append(
+            f"<tr><td class='name'>{html.escape(entry['name'])}</td>"
+            f"<td>{html.escape(entry['label'])}</td><td>{entry['seed']}</td>"
+            f"<td>{html.escape(entry['spec_digest'][:12])}</td>"
+            f"<td>{entry['duration_s']:.1f}</td><td>{n_metrics}</td></tr>"
+        )
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def _traces_section(store: ResultStore) -> str:
+    entries = store.trace_summary()
+    if not entries:
+        return ""
+    parts = ["<h2>Telemetry traces</h2>",
+             "<table><tr><th class='name'>trace</th><th>label</th><th>event</th>"
+             "<th>records</th><th>t range (s)</th></tr>"]
+    for entry in entries:
+        t_range = ""
+        if entry["t_min"] is not None and entry["t_max"] is not None:
+            t_range = f"{entry['t_min']:.2f} &ndash; {entry['t_max']:.2f}"
+        parts.append(
+            f"<tr><td class='name'>{html.escape(entry['name'])}</td>"
+            f"<td>{html.escape(entry['label'])}</td><td>{html.escape(entry['event'])}</td>"
+            f"<td>{entry['n']}</td><td>{t_range}</td></tr>"
+        )
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def render_html(store: ResultStore, title: str = "Result store trajectory") -> str:
+    """The full HTML report over everything the store holds."""
+    labels = store.bench_labels()
+    trajectory = store.bench_trajectory()
+    counts = store.counts()
+    summary = ", ".join(f"{counts[table]} {table.replace('_', ' ')}" for table in
+                        ("runs", "bench_rows", "experiment_results",
+                         "scenario_results", "metrics", "trace_events"))
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p class='note'>{html.escape(summary)}.</p>",
+        "<h2>Throughput trajectory (ops/sec; delta vs previous label)</h2>",
+    ]
+    if trajectory:
+        parts.append(_trajectory_table(trajectory, labels))
+        parts.append("<h2>Speedup vs preserved seed implementation</h2>")
+        parts.append(_speedup_table(trajectory, labels))
+    else:
+        parts.append("<p class='note'>No benchmark reports ingested yet.</p>")
+    parts.append(_experiments_section(store))
+    parts.append(_scenarios_section(store))
+    parts.append(_traces_section(store))
+    parts.append("</body></html>")
+    return "".join(parts) + "\n"
+
+
+def write_report_files(
+    store: ResultStore,
+    html_path: Optional[str] = None,
+    csv_path: Optional[str] = None,
+    title: str = "Result store trajectory",
+) -> List[str]:
+    """Write whichever renderings were requested; returns the paths written."""
+    written = []
+    if html_path:
+        with open(html_path, "w", encoding="utf-8") as handle:
+            handle.write(render_html(store, title=title))
+        written.append(html_path)
+    if csv_path:
+        with open(csv_path, "w", encoding="utf-8") as handle:
+            handle.write(render_csv(store))
+        written.append(csv_path)
+    return written

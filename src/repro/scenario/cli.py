@@ -93,27 +93,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ]
     if args.json_dir:
         os.makedirs(args.json_dir, exist_ok=True)
-    for seed in seeds:
-        trace_path = None
-        if args.trace:
-            trace_path = args.trace if len(seeds) == 1 else _per_seed_path(args.trace, seed)
-        try:
-            result = run(spec, seed=seed, trace_path=trace_path)
-        except SpecError as exc:
-            # Some constraints (e.g. an app that needs a CM on its host) are
-            # only checkable while wiring the scenario; report them exactly
-            # like eager validation failures.
-            print(f"invalid scenario: {exc}", file=sys.stderr)
-            return 2
-        if not args.quiet:
-            _print_result(result)
-        if trace_path:
-            print(f"(wrote telemetry trace {trace_path})", file=sys.stderr)
-        if args.json_dir:
-            path = os.path.join(args.json_dir, f"{result.name}.seed{seed}.json")
-            with open(path, "w", encoding="utf-8") as handle:
-                handle.write(result.to_json())
-            print(f"(wrote {path})", file=sys.stderr)
+    store = None
+    if args.store:
+        from ..results.store import ResultStore
+
+        store = ResultStore(args.store)
+    try:
+        for seed in seeds:
+            trace_path = None
+            if args.trace:
+                trace_path = args.trace if len(seeds) == 1 else _per_seed_path(args.trace, seed)
+            try:
+                result = run(spec, seed=seed, trace_path=trace_path)
+            except SpecError as exc:
+                # Some constraints (e.g. an app that needs a CM on its host) are
+                # only checkable while wiring the scenario; report them exactly
+                # like eager validation failures.
+                print(f"invalid scenario: {exc}", file=sys.stderr)
+                return 2
+            if not args.quiet:
+                _print_result(result)
+            if trace_path:
+                print(f"(wrote telemetry trace {trace_path})", file=sys.stderr)
+            if args.json_dir:
+                path = os.path.join(args.json_dir, f"{result.name}.seed{seed}.json")
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(result.to_json())
+                print(f"(wrote {path})", file=sys.stderr)
+            if store is not None:
+                source = f"{result.name}.seed{seed}.json"
+                outcome = store.ingest_scenario_payload(result.payload(), source=source)
+                if trace_path:
+                    outcome.merge(store.ingest_trace(trace_path))
+                print(f"(result store {args.store}: {outcome.summary()})", file=sys.stderr)
+    finally:
+        if store is not None:
+            store.close()
     return 0
 
 
@@ -195,6 +210,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--trace", default=None, metavar="FILE",
                             help="stream telemetry events + samples to a JSON-lines file "
                                  "(multi-seed runs write FILE with a .seed<k> infix)")
+    run_parser.add_argument("--store", default=None, metavar="DB",
+                            help="ingest per-seed results (and --trace files) into this "
+                                 "sqlite result store")
     run_parser.add_argument("--quiet", action="store_true", help="suppress the text summary")
     run_parser.set_defaults(func=_cmd_run)
 
