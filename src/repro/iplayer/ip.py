@@ -69,7 +69,13 @@ class IPLayer:
         for CM-managed flows, resolves the route, and hands the packet to
         the outgoing link.  Returns ``True`` if the link accepted it.
         """
-        packet.created_at = self.host.sim.now
+        sim = self.host.sim
+        packet.created_at = sim.now
+        # Stamp a per-simulator id: construction-time ids come from a
+        # process-global counter (so unsent packets still get unique ids),
+        # but anything that reaches the wire must carry an id that is
+        # reproducible run-to-run regardless of process history.
+        packet.packet_id = sim.next_packet_id()
         if self.host.costs is not None:
             self.host.costs.kernel_tx(packet.size)
 

@@ -158,6 +158,7 @@ class Simulator:
         self._dead = 0
         self._running = False
         self._stopped = False
+        self._packet_seq = 0
         self.events_dispatched = 0
 
     # ------------------------------------------------------------------ time
@@ -165,6 +166,18 @@ class Simulator:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    # ------------------------------------------------------------ identifiers
+    def next_packet_id(self) -> int:
+        """Allocate the next per-simulator packet id (1, 2, 3, ...).
+
+        Packet ids are stamped by the IP output path so that traces and
+        telemetry payloads are a function of the simulation alone, never of
+        how many other simulations ran earlier in the process.
+        """
+        pid = self._packet_seq + 1
+        self._packet_seq = pid
+        return pid
 
     # ------------------------------------------------------------- scheduling
     def schedule(self, delay: float, callback: Callable, *args: Any, **kwargs: Any) -> Event:

@@ -31,6 +31,12 @@ class LinkStats:
     """Counters maintained by a :class:`Link`."""
 
     enqueued_packets: int = 0
+    #: Packets pulled off the queue and serialised (the queue-delay sample
+    #: count: ``queue_delay_total`` accumulates at transmission start, so a
+    #: matching start-side denominator is the only one that cannot drift
+    #: when packets are still in flight — or lost to a detached receiver —
+    #: at simulation end).
+    dequeued_packets: int = 0
     delivered_packets: int = 0
     delivered_bytes: int = 0
     dropped_overflow: int = 0
@@ -51,10 +57,10 @@ class LinkStats:
         return min(1.0, self.busy_time / elapsed)
 
     def mean_queue_delay(self) -> float:
-        """Average time a delivered packet spent queued before transmission."""
-        if self.delivered_packets == 0:
+        """Average time a transmitted packet spent queued before serialisation."""
+        if self.dequeued_packets == 0:
             return 0.0
-        return self.queue_delay_total / self.delivered_packets
+        return self.queue_delay_total / self.dequeued_packets
 
 
 class Link:
@@ -166,14 +172,17 @@ class Link:
             self._notify_drop(packet, "random")
             return False
 
-        if self.ecn_threshold is not None and packet.ecn_capable and self.queue_length >= self.ecn_threshold:
-            packet.ecn_marked = True
-            self.stats.ecn_marked += 1
-
+        # Overflow is checked before ECN marking: a packet the full queue is
+        # about to drop must not be marked (or counted in ``ecn_marked``) —
+        # marking is what happens *instead of* dropping, never as well as.
         if self.queue_limit is not None and self.queue_length >= self.queue_limit:
             self.stats.dropped_overflow += 1
             self._notify_drop(packet, "overflow")
             return False
+
+        if self.ecn_threshold is not None and packet.ecn_capable and self.queue_length >= self.ecn_threshold:
+            packet.ecn_marked = True
+            self.stats.ecn_marked += 1
 
         self.stats.enqueued_packets += 1
         self._queue.append((packet, self.sim.now))
@@ -192,6 +201,7 @@ class Link:
             return
         self._busy = True
         packet, enqueue_time = self._queue.popleft()
+        self.stats.dequeued_packets += 1
         self.stats.queue_delay_total += self.sim.now - enqueue_time
         tx_time = self.transmission_time(packet)
         self.stats.busy_time += tx_time

@@ -83,6 +83,10 @@ class Packet:
     #: explicitly (the paper's "ALF/noconnect" case).
     cm_matchable: bool = True
     created_at: float = 0.0
+    #: Unique id.  At construction this comes from a process-global counter
+    #: (cheap uniqueness for standalone packets); the IP output path
+    #: re-stamps it from the owning simulator's counter so traces are
+    #: independent of how many simulations ran earlier in the process.
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
 
     @property

@@ -40,6 +40,25 @@ class TestGoldenTraces:
         assert _figure3_json(jobs=1) == _figure3_json(jobs=1)
 
 
+class TestScenarioRerunDeterminism:
+    def test_back_to_back_scenario_runs_produce_identical_traces(self, tmp_path):
+        # Two scenario.run() calls in the same process must agree byte-for-
+        # byte on both the result payload and the full JSONL telemetry
+        # trace: nothing on the packet path (ids included) may depend on
+        # process history.
+        from repro.scenario import get_preset, run as run_scenario
+
+        spec = get_preset("parking_lot_mix")
+        payloads, traces = [], []
+        for attempt in range(2):
+            trace = tmp_path / f"trace{attempt}.jsonl"
+            payloads.append(run_scenario(spec, seed=spec.seed, trace_path=str(trace)).to_json())
+            traces.append(trace.read_bytes())
+        assert payloads[0] == payloads[1]
+        assert traces[0] == traces[1]
+        assert traces[0], "trace file must not be empty"
+
+
 class TestCacheTransparency:
     def test_warm_cache_reproduces_cold_json(self, tmp_path):
         cache = TrialCache(str(tmp_path / "trials"))

@@ -35,6 +35,34 @@ class TestHostRouting:
         assert len(ports) == 10
 
 
+class TestPerSimulatorPacketIds:
+    def _send_some(self):
+        sim = Simulator()
+        sender = Host(sim, "sender", "10.0.0.1")
+        receiver = Host(sim, "receiver", "10.0.0.2")
+        Channel(sim, sender, receiver, rate_bps=10e6, one_way_delay=0.01)
+        got = []
+        receiver.ip.register_handler(PROTO_UDP, 2000, got.append)
+        for _ in range(3):
+            sender.ip.send(udp_packet(sender.addr, receiver.addr))
+        sim.run()
+        return [p.packet_id for p in got]
+
+    def test_sent_packet_ids_restart_per_simulator(self):
+        # Ids on the wire come from the simulator, not a process-global
+        # counter: back-to-back identical simulations must see identical
+        # ids, no matter how many packets earlier runs created.
+        first = self._send_some()
+        second = self._send_some()
+        assert first == [1, 2, 3]
+        assert first == second
+
+    def test_construction_ids_still_unique_without_a_simulator(self):
+        a = udp_packet("10.0.0.1", "10.0.0.2")
+        b = udp_packet("10.0.0.1", "10.0.0.2")
+        assert a.packet_id != b.packet_id
+
+
 class TestIPDemux:
     def test_delivery_to_registered_handler(self, make_pair):
         pair = make_pair()

@@ -116,6 +116,39 @@ class TestLink:
         assert any(p.ecn_marked for p in received)
         assert len(received) == 6
 
+    def test_full_queue_drop_is_not_ecn_marked(self):
+        # Boundary regression: queue_length == queue_limit == ecn_threshold.
+        # A packet the full queue is about to drop must not be ECN-marked
+        # (or counted in stats.ecn_marked) on its way out — marking happens
+        # *instead of* dropping, never as well as.
+        sim = Simulator()
+        link, received = self.make_link(sim, queue_limit=2, ecn_threshold=2)
+        for _ in range(3):  # one transmitting + two queued -> queue_length == 2
+            assert link.send(make_packet(1000, ecn_capable=True))
+        overflow = make_packet(1000, ecn_capable=True)
+        assert not link.send(overflow)
+        assert link.stats.dropped_overflow == 1
+        assert overflow.ecn_marked is False
+        assert link.stats.ecn_marked == 0
+        sim.run()
+        assert link.stats.ecn_marked == sum(1 for p in received if p.ecn_marked)
+
+    def test_mean_queue_delay_counts_transmitted_packets(self):
+        # queue_delay_total accumulates at transmission *start*; the mean
+        # must divide by the matching dequeued count, not by deliveries —
+        # packets still propagating at simulation end would otherwise
+        # inflate (or here, zero out) the reported delay.
+        sim = Simulator()
+        link, received = self.make_link(sim, rate_bps=8e6, delay=10.0, queue_limit=10)
+        for _ in range(3):
+            link.send(make_packet(972))  # 1000 bytes -> 1 ms serialisation
+        sim.run(until=0.01)  # all three transmitted, none delivered yet
+        assert received == []
+        assert link.stats.delivered_packets == 0
+        assert link.stats.dequeued_packets == 3
+        # Queue waits were 0, 1 and 2 ms -> mean 1 ms.
+        assert link.stats.mean_queue_delay() == pytest.approx(0.001)
+
     def test_non_ecn_packets_not_marked(self):
         sim = Simulator()
         link, received = self.make_link(sim, queue_limit=50, ecn_threshold=1)
