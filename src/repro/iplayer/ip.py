@@ -112,23 +112,35 @@ class IPLayer:
 
     # ------------------------------------------------------------------ input
     def receive(self, packet: Packet) -> None:
-        """Handle a packet delivered by an attached link."""
-        if packet.dst != self.host.addr and self.host.forwarding:
-            self._forward(packet)
+        """Handle a packet delivered by an attached link.
+
+        This is where a pooled TCP segment's life ends: once the transport
+        handler returns (or the packet turns out to be undeliverable) the
+        segment goes back to the simulator's packet pool.  Unmanaged packets
+        make the release a no-op, and forwarded packets stay live — the
+        router path is a relay, not a terminus.
+        """
+        host = self.host
+        if packet.dst != host.addr:
+            if host.forwarding:
+                self._forward(packet)
+            elif packet._pool_state == 1:
+                # Mis-delivered packet; drop silently (matches real IP
+                # behaviour) and recycle it.
+                host.sim.packet_pool.release(packet)
             return
-        if packet.dst != self.host.addr:
-            # Mis-delivered packet; drop silently (matches real IP behaviour).
-            return
-        if self.host.costs is not None:
-            self.host.costs.kernel_rx(packet.size)
+        if host.costs is not None:
+            host.costs.kernel_rx(packet.size)
         self.packets_received += 1
         handler = self._handlers.get((packet.protocol, packet.dport))
         if handler is None:
             handler = self._handlers.get((packet.protocol, 0))
         if handler is None:
             self.packets_no_handler += 1
-            return
-        handler(packet)
+        else:
+            handler(packet)
+        if packet._pool_state == 1:
+            host.sim.packet_pool.release(packet)
 
     def _forward(self, packet: Packet) -> None:
         """Router path: look up the next hop and retransmit unchanged."""
@@ -138,6 +150,8 @@ class IPLayer:
             # probing a dead path should see loss, not a simulator crash.
             # The counter is the debugging handle for mis-routed graphs.
             self.forward_drops += 1
+            if packet._pool_state == 1:
+                self.host.sim.packet_pool.release(packet)
             return
         self.packets_forwarded += 1
         link.send(packet)

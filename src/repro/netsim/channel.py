@@ -72,8 +72,11 @@ class Channel:
             seed=seed + 1,
             name=f"{host_b.name}->{host_a.name}",
         )
-        self.forward.attach(host_b.receive_from_link)
-        self.reverse.attach(host_a.receive_from_link)
+        # Links hand packets straight to the IP input routine; the
+        # ``receive_from_link`` wrapper stays for ad-hoc callers, but a
+        # per-packet pass-through call is overhead the delivery path skips.
+        self.forward.attach(host_b.ip.receive)
+        self.reverse.attach(host_a.ip.receive)
         host_a.add_route(host_b.addr, self.forward)
         host_b.add_route(host_a.addr, self.reverse)
         if install_default_route:
@@ -160,8 +163,8 @@ def build_dumbbell(
         seed=seed + 1,
         name="bottleneck-rev",
     )
-    bottleneck.attach(right.receive_from_link)
-    bottleneck_reverse.attach(left.receive_from_link)
+    bottleneck.attach(right.ip.receive)
+    bottleneck_reverse.attach(left.ip.receive)
     left.set_default_route(bottleneck)
     right.set_default_route(bottleneck_reverse)
 
@@ -177,8 +180,8 @@ def build_dumbbell(
                   name=f"{sender.name}->left")
         down = Link(sim, access_bps, access_delay, queue_limit=1000, seed=seed + 20 + index,
                     name=f"left->{sender.name}")
-        up.attach(left.receive_from_link)
-        down.attach(sender.receive_from_link)
+        up.attach(left.ip.receive)
+        down.attach(sender.ip.receive)
         sender.set_default_route(up)
         left.add_route(sender.addr, down)
 
@@ -186,8 +189,8 @@ def build_dumbbell(
                    name=f"right->{receiver.name}")
         rdown = Link(sim, access_bps, access_delay, queue_limit=1000, seed=seed + 40 + index,
                      name=f"{receiver.name}->right")
-        rup.attach(receiver.receive_from_link)
-        rdown.attach(right.receive_from_link)
+        rup.attach(receiver.ip.receive)
+        rdown.attach(right.ip.receive)
         right.add_route(receiver.addr, rup)
         receiver.set_default_route(rdown)
 

@@ -10,12 +10,22 @@ DESIGN.md).
 The engine is an event-heap simulator tuned for the request/grant/ACK churn
 the Congestion Manager generates:
 
-* :meth:`Simulator.schedule` / :meth:`Simulator.at` push events onto a heap
-  and return an :class:`Event` handle that can be cancelled.
-* Heap entries are plain mutable lists, not the :class:`Event` handles
+* :meth:`Simulator.schedule` / :meth:`Simulator.at` push events onto the
+  queue and return an :class:`Event` handle that can be cancelled.
+* The pending set is split into **two lanes**: an append-only *tail* (a
+  deque that stays sorted because entries are only appended when they are
+  not earlier than its last element) and a binary *heap* for the rare
+  out-of-order pushes.  Simulated hardware schedules overwhelmingly in
+  non-decreasing time order — links chain serialisations forward, timers
+  re-arm ahead of now — so in steady state nearly every push is an O(1)
+  ``append`` and nearly every pop an O(1) ``popleft`` plus one list
+  comparison against the heap head, instead of paying O(log n) sift work
+  per event.  Dispatch order is still *exactly* global ``(time, seq)``
+  order: the two lanes are merged head-to-head on every pop.
+* Queue entries are plain mutable lists, not the :class:`Event` handles
   themselves; cancellation is *lazy* — it flips a state slot in O(1) and the
-  dead entry is discarded when it surfaces at the top of the heap (with a
-  periodic compaction so a cancel-heavy workload cannot bloat the heap).
+  dead entry is discarded when it surfaces at the front of a lane (with a
+  periodic compaction so a cancel-heavy workload cannot bloat the queue).
 * :meth:`Simulator.run` pops events in time order and invokes their
   callbacks until the horizon, an event budget, or :meth:`Simulator.stop`,
   with the dispatch loop working on local bindings of the heap machinery.
@@ -29,6 +39,7 @@ the Congestion Manager generates:
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, List, Optional
 
 # Bound once at import: the hot paths call these thousands of times per
@@ -38,28 +49,27 @@ _heappop = heapq.heappop
 
 __all__ = ["Event", "Simulator", "Timer", "SimulationError"]
 
-# Heap entries are ``[time, seq, state, callback, args, kwargs]`` lists.
-# Ordering only ever compares ``time`` then the unique ``seq``, so the
-# trailing slots never participate in heap comparisons.  ``kwargs`` is
-# ``None`` (not an empty dict) for the overwhelmingly common kwarg-free case.
+# Queue entries are ``[time, seq, state, callback, args]`` lists (plus a
+# trailing ``sim`` slot on :class:`Event` entries, which need it for
+# ``cancel``).  Ordering only ever compares ``time`` then the unique
+# ``seq``, so the trailing slots never participate in comparisons and the
+# two layouts can share a heap.  Callback keyword arguments are deliberately
+# unsupported on the scheduling fast path — a per-call kwargs dict is an
+# allocation the packet hot path cannot afford; use ``functools.partial``.
 _TIME = 0
 _SEQ = 1
 _STATE = 2
 _CALLBACK = 3
 _ARGS = 4
-_KWARGS = 5
+_SIM = 5
 
 _PENDING = 0
 _CANCELLED = 1
 _DISPATCHED = 2
 
-#: Compact the heap when at least this many dead entries accumulate *and*
+#: Compact the queue when at least this many dead entries accumulate *and*
 #: they outnumber the live ones (amortised O(1) per cancellation).
 _COMPACT_MIN_DEAD = 512
-
-# C-level allocator for Event handles; the scheduling fast paths fill the
-# two slots inline instead of paying an ``__init__`` frame per event.
-_new_event = object.__new__
 
 
 class SimulationError(RuntimeError):
@@ -71,45 +81,42 @@ class SimulationError(RuntimeError):
     """
 
 
-class Event:
+class Event(list):
     """Handle for a scheduled callback.
 
     Instances are created by :meth:`Simulator.schedule`; user code only
     interacts with them to :meth:`cancel` a pending event or to inspect
-    :attr:`time`.  The handle is a thin view over the simulator's internal
-    heap entry, so keeping or dropping it costs nothing on the hot path.
+    :attr:`time`.  The handle *is* the simulator's internal queue entry (a
+    list subclass), so scheduling allocates exactly one object — there is no
+    separate wrapper to build or collect on the hot path.
     """
 
-    __slots__ = ("_sim", "_entry")
-
-    def __init__(self, sim: "Simulator", entry: list):
-        self._sim = sim
-        self._entry = entry
+    __slots__ = ()
 
     @property
     def time(self) -> float:
         """Absolute simulated time the event fires (or fired) at."""
-        return self._entry[_TIME]
+        return self[_TIME]
 
     @property
     def seq(self) -> int:
         """Schedule-order tiebreaker (unique per simulator)."""
-        return self._entry[_SEQ]
+        return self[_SEQ]
 
     @property
     def cancelled(self) -> bool:
         """True once :meth:`cancel` has been called."""
-        return self._entry[_STATE] == _CANCELLED
+        return self[_STATE] == _CANCELLED
 
     @property
     def dispatched(self) -> bool:
         """True once the callback has been invoked."""
-        return self._entry[_STATE] == _DISPATCHED
+        return self[_STATE] == _DISPATCHED
 
     @property
     def pending(self) -> bool:
         """True while the event is scheduled and has not fired or been cancelled."""
-        return self._entry[_STATE] == _PENDING
+        return self[_STATE] == _PENDING
 
     def cancel(self) -> None:
         """Prevent the event from firing.
@@ -118,28 +125,32 @@ class Event:
         cancelling an event whose callback has already run is a bug in the
         caller's bookkeeping and raises :class:`SimulationError`.
         """
-        entry = self._entry
-        state = entry[_STATE]
+        state = self[_STATE]
         if state == _DISPATCHED:
             raise SimulationError(
-                f"cannot cancel event at t={entry[_TIME]:.6f}: it has already been dispatched"
+                f"cannot cancel event at t={self[_TIME]:.6f}: it has already been dispatched"
             )
         if state == _PENDING:
-            # Inlined _kill_entry: cancellation is on the hot path (retracted
-            # timeouts), a method call per cancel is measurable.
-            entry[_STATE] = _CANCELLED
-            sim = self._sim
+            self[_STATE] = _CANCELLED
+            sim = self[_SIM]
+            tail = sim._tail
+            if tail and tail[-1] is self:
+                # Retracted-timeout fast path: an entry cancelled while it is
+                # still the newest thing scheduled is removed outright, so it
+                # neither rots in the lane nor forces later in-order pushes
+                # through the slow path.
+                tail.pop()
+                return
             dead = sim._dead + 1
             sim._dead = dead
-            if dead >= _COMPACT_MIN_DEAD and dead * 2 > len(sim._heap):
+            if dead >= _COMPACT_MIN_DEAD and dead * 2 > len(sim._heap) + len(tail):
                 sim._compact()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        entry = self._entry
-        state = ("pending", "cancelled", "done")[entry[_STATE]]
-        callback = entry[_CALLBACK]
+        state = ("pending", "cancelled", "done")[self[_STATE]]
+        callback = self[_CALLBACK]
         name = getattr(callback, "__name__", callback)
-        return f"<Event t={entry[_TIME]:.6f} {name} {state}>"
+        return f"<Event t={self[_TIME]:.6f} {name} {state}>"
 
 
 class Simulator:
@@ -151,15 +162,38 @@ class Simulator:
         Initial simulated time in seconds.
     """
 
+    #: Slotted: the dispatch loop and the packet pool touch these attributes
+    #: millions of times per simulated run, and the per-instance dict would
+    #: be pure overhead (nothing in the repo monkey-patches simulators).
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_tail",
+        "_seq",
+        "_dead",
+        "_running",
+        "_stopped",
+        "_packet_seq",
+        "events_dispatched",
+        "packet_pool",
+    )
+
     def __init__(self, start: float = 0.0):
         self._now = float(start)
         self._heap: List[list] = []
+        #: Sorted fast lane: only ever appended to when the new entry is not
+        #: earlier than its last element, so it stays sorted by (time, seq).
+        self._tail: deque = deque()
         self._seq = 0
         self._dead = 0
         self._running = False
         self._stopped = False
         self._packet_seq = 0
         self.events_dispatched = 0
+        #: Lazily-attached per-simulator :class:`~repro.netsim.packet.PacketPool`
+        #: (see :func:`repro.netsim.packet.pool_for`); ``None`` until the
+        #: first transport asks for it.
+        self.packet_pool = None
 
     # ------------------------------------------------------------------ time
     @property
@@ -180,20 +214,30 @@ class Simulator:
         return pid
 
     # ------------------------------------------------------------- scheduling
-    def schedule(self, delay: float, callback: Callable, *args: Any, **kwargs: Any) -> Event:
-        """Schedule ``callback(*args, **kwargs)`` to run ``delay`` seconds from now."""
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Callback arguments are positional-only: a per-call kwargs dict is an
+        allocation the hot path cannot afford, so bind keyword arguments
+        with :func:`functools.partial` at the call site instead.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule event {delay} seconds in the past")
         seq = self._seq
         self._seq = seq + 1
-        entry = [self._now + delay, seq, _PENDING, callback, args, kwargs or None]
-        _heappush(self._heap, entry)
-        event = _new_event(Event)
-        event._sim = self
-        event._entry = entry
-        return event
+        entry = Event((self._now + delay, seq, _PENDING, callback, args, self))
+        # Two-lane push: in-order entries (the overwhelming common case for
+        # link serialisation chains and re-armed timers) go on the sorted
+        # tail for O(1); out-of-order ones reclaim the tail's right end or
+        # fall back to the heap (see _enqueue_slow).
+        tail = self._tail
+        if not tail or entry[0] >= tail[-1][0]:
+            tail.append(entry)
+        else:
+            self._enqueue_slow(entry)
+        return entry
 
-    def at(self, time: float, callback: Callable, *args: Any, **kwargs: Any) -> Event:
+    def at(self, time: float, callback: Callable, *args: Any) -> Event:
         """Schedule ``callback`` at an absolute simulated time."""
         if time < self._now:
             raise SimulationError(
@@ -201,32 +245,69 @@ class Simulator:
             )
         seq = self._seq
         self._seq = seq + 1
-        entry = [time, seq, _PENDING, callback, args, kwargs or None]
-        _heappush(self._heap, entry)
-        event = _new_event(Event)
-        event._sim = self
-        event._entry = entry
-        return event
+        entry = Event((time, seq, _PENDING, callback, args, self))
+        tail = self._tail
+        if not tail or time >= tail[-1][0]:
+            tail.append(entry)
+        else:
+            self._enqueue_slow(entry)
+        return entry
 
-    def call_soon(self, callback: Callable, *args: Any, **kwargs: Any) -> Event:
+    def call_soon(self, callback: Callable, *args: Any) -> Event:
         """Schedule ``callback`` at the current time (after already-queued same-time events)."""
         seq = self._seq
         self._seq = seq + 1
-        entry = [self._now, seq, _PENDING, callback, args, kwargs or None]
-        _heappush(self._heap, entry)
-        event = _new_event(Event)
-        event._sim = self
-        event._entry = entry
-        return event
+        entry = Event((self._now, seq, _PENDING, callback, args, self))
+        tail = self._tail
+        if not tail or self._now >= tail[-1][0]:
+            tail.append(entry)
+        else:
+            self._enqueue_slow(entry)
+        return entry
 
     # ------------------------------------------------------- entry management
-    def _push(self, time: float, callback: Callable, args: tuple, kwargs: Optional[dict]) -> list:
-        """Create and enqueue a raw heap entry (no :class:`Event` wrapper)."""
+    def _push(self, time: float, callback: Callable, args: tuple) -> list:
+        """Create and enqueue a raw queue entry (no :class:`Event` handle)."""
         seq = self._seq
         self._seq = seq + 1
-        entry = [time, seq, _PENDING, callback, args, kwargs]
-        _heappush(self._heap, entry)
+        entry = [time, seq, _PENDING, callback, args]
+        tail = self._tail
+        if not tail or time >= tail[-1][0]:
+            tail.append(entry)
+        else:
+            self._enqueue_slow(entry)
         return entry
+
+    def _enqueue_slow(self, entry: list) -> None:
+        """Place an out-of-order entry (earlier than the tail's last element).
+
+        The tail's right end often holds just-cancelled far-future entries
+        (a retracted timeout scheduled past everything else) — those are
+        dropped outright, which is cheaper than letting them rot in the
+        heap.  Up to a few *live* entries are demoted tail→heap to make
+        room; each entry can be demoted at most once, so the amortised cost
+        stays O(1) and a long sorted tail can never be dismantled wholesale
+        by one early push (past the budget the new entry itself takes the
+        heap).
+        """
+        tail = self._tail
+        heap = self._heap
+        time = entry[_TIME]
+        budget = 8
+        while tail:
+            last = tail[-1]
+            if time >= last[_TIME]:
+                break
+            if last[_STATE] == _CANCELLED:
+                tail.pop()
+                self._dead -= 1
+                continue
+            if budget == 0:
+                _heappush(heap, entry)
+                return
+            budget -= 1
+            _heappush(heap, tail.pop())
+        tail.append(entry)
 
     def _kill_entry(self, entry: list) -> None:
         """Lazily cancel a pending entry.
@@ -237,19 +318,25 @@ class Simulator:
         """
         entry[_STATE] = _CANCELLED
         self._dead += 1
-        if self._dead >= _COMPACT_MIN_DEAD and self._dead * 2 > len(self._heap):
+        if self._dead >= _COMPACT_MIN_DEAD and self._dead * 2 > len(self._heap) + len(self._tail):
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap without dead entries (amortised by the threshold).
+        """Rebuild both lanes without dead entries (amortised by the threshold).
 
-        In place, never rebinding ``self._heap``: the dispatch loop in
-        :meth:`run` works on a local alias of the heap list, and compaction
-        can trigger from a callback in the middle of that loop.
+        In place, never rebinding ``self._heap`` or ``self._tail``: the
+        dispatch loop in :meth:`run` works on local aliases of the lane
+        containers, and compaction can trigger from a callback in the middle
+        of that loop.  Filtering the tail preserves its order, so its
+        sortedness invariant survives.
         """
         heap = self._heap
         heap[:] = [entry for entry in heap if entry[_STATE] == _PENDING]
         heapq.heapify(heap)
+        tail = self._tail
+        live = [entry for entry in tail if entry[_STATE] == _PENDING]
+        tail.clear()
+        tail.extend(live)
         self._dead = 0
 
     # ---------------------------------------------------------------- running
@@ -257,39 +344,56 @@ class Simulator:
         """Stop the current :meth:`run` after the in-flight event returns."""
         self._stopped = True
 
-    def peek(self) -> Optional[float]:
-        """Return the time of the next pending event, or ``None`` if the heap is empty."""
+    def _pop_next(self) -> Optional[list]:
+        """Pop the earliest live entry across both lanes (``None`` if drained)."""
         heap = self._heap
-        while heap:
-            entry = heap[0]
+        tail = self._tail
+        while True:
+            if tail:
+                if heap and heap[0] < tail[0]:
+                    entry = _heappop(heap)
+                else:
+                    entry = tail.popleft()
+            elif heap:
+                entry = _heappop(heap)
+            else:
+                return None
             if entry[_STATE] != _PENDING:
-                _heappop(heap)
                 self._dead -= 1
                 continue
-            return entry[_TIME]
+            return entry
+
+    def peek(self) -> Optional[float]:
+        """Return the time of the next pending event, or ``None`` if the queue is empty."""
+        heap = self._heap
+        tail = self._tail
+        while heap and heap[0][_STATE] != _PENDING:
+            _heappop(heap)
+            self._dead -= 1
+        while tail and tail[0][_STATE] != _PENDING:
+            tail.popleft()
+            self._dead -= 1
+        if tail:
+            if heap and heap[0] < tail[0]:
+                return heap[0][_TIME]
+            return tail[0][_TIME]
+        if heap:
+            return heap[0][_TIME]
         return None
 
     def step(self) -> bool:
         """Dispatch the single next pending event.
 
-        Returns ``True`` if an event ran, ``False`` if the heap was empty.
+        Returns ``True`` if an event ran, ``False`` if the queue was empty.
         """
-        heap = self._heap
-        while heap:
-            entry = _heappop(heap)
-            if entry[_STATE] != _PENDING:
-                self._dead -= 1
-                continue
-            self._now = entry[_TIME]
-            entry[_STATE] = _DISPATCHED
-            self.events_dispatched += 1
-            kwargs = entry[_KWARGS]
-            if kwargs is None:
-                entry[_CALLBACK](*entry[_ARGS])
-            else:
-                entry[_CALLBACK](*entry[_ARGS], **kwargs)
-            return True
-        return False
+        entry = self._pop_next()
+        if entry is None:
+            return False
+        self._now = entry[_TIME]
+        entry[_STATE] = _DISPATCHED
+        self.events_dispatched += 1
+        entry[_CALLBACK](*entry[_ARGS])
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run until the event heap drains, ``until`` is reached, or :meth:`stop`.
@@ -314,12 +418,16 @@ class Simulator:
             raise SimulationError(f"horizon {until} is before current time {self._now}")
         self._running = True
         self._stopped = False
-        # The dispatch loops work on local bindings (heap, heappop, the
-        # budget) and unpack entries by index instead of going through Event
-        # attribute lookups.  Entries are popped straight off the heap; the
-        # one that overshoots the horizon is pushed back, which trades a
-        # rare extra push for never peeking before every pop.
+        # The dispatch loops work on local bindings (the two lanes, heappop,
+        # the budget) and unpack entries by index instead of going through
+        # Event attribute lookups.  Entries are popped straight off the
+        # lanes, merged head-to-head by one C-level list comparison; the one
+        # that overshoots the horizon is pushed back onto the tail's front
+        # (it was the global minimum, so sortedness is preserved), which
+        # trades a rare extra push for never peeking before every pop.
         heap = self._heap
+        tail = self._tail
+        popleft = tail.popleft
         heappop = _heappop
         dispatched = 0
         try:
@@ -327,45 +435,64 @@ class Simulator:
                 # Dominant case (drain, no horizon, no budget): tightest loop.
                 # Literal entry indices (see the slot layout at module top):
                 # global constant lookups are measurable at this call rate.
-                while heap and not self._stopped:
-                    entry = heappop(heap)
+                while not self._stopped:
+                    if tail:
+                        if heap and heap[0] < tail[0]:
+                            entry = heappop(heap)
+                        else:
+                            entry = popleft()
+                    elif heap:
+                        entry = heappop(heap)
+                    else:
+                        break
                     if entry[2]:
                         self._dead -= 1
                         continue
                     self._now = entry[0]
                     entry[2] = 2
                     dispatched += 1
-                    kwargs = entry[5]
-                    if kwargs is None:
-                        entry[3](*entry[4])
+                    args = entry[4]
+                    if args:
+                        entry[3](*args)
                     else:
-                        entry[3](*entry[4], **kwargs)
+                        # Plain call: the arg-free case (self-rescheduling
+                        # chains, timer ticks) skips the star-unpack path.
+                        entry[3]()
             else:
                 remaining = -1 if max_events is None else max_events
-                while heap and not self._stopped and remaining != 0:
-                    entry = heappop(heap)
+                while not self._stopped and remaining != 0:
+                    if tail:
+                        if heap and heap[0] < tail[0]:
+                            entry = heappop(heap)
+                        else:
+                            entry = popleft()
+                    elif heap:
+                        entry = heappop(heap)
+                    else:
+                        break
                     if entry[2]:
                         self._dead -= 1
                         continue
                     event_time = entry[0]
                     if until is not None and event_time > until:
-                        _heappush(heap, entry)
+                        tail.appendleft(entry)
                         self._now = until
                         break
                     self._now = event_time
                     entry[2] = 2
                     dispatched += 1
                     remaining -= 1
-                    kwargs = entry[5]
-                    if kwargs is None:
-                        entry[3](*entry[4])
+                    args = entry[4]
+                    if args:
+                        entry[3](*args)
                     else:
-                        entry[3](*entry[4], **kwargs)
-                else:
-                    # Drained, stopped, or out of budget without hitting the
-                    # horizon: a drained run still reports the horizon time.
-                    if until is not None and not self._stopped and self._now < until and self.peek() is None:
-                        self._now = until
+                        entry[3]()
+                # Drained, stopped, or out of budget without hitting the
+                # horizon: a drained run still reports the horizon time.
+                # (After a horizon overshoot ``_now`` already equals
+                # ``until``, so this is a no-op on that exit path.)
+                if until is not None and not self._stopped and self._now < until and self.peek() is None:
+                    self._now = until
         finally:
             self.events_dispatched += dispatched
             self._running = False
@@ -376,7 +503,7 @@ class Simulator:
         return self.run(until=None, max_events=max_events)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        pending = len(self._heap) - self._dead
+        pending = len(self._heap) + len(self._tail) - self._dead
         return f"<Simulator t={self._now:.6f} pending={pending}>"
 
 
@@ -435,7 +562,7 @@ class Timer:
                 return
             # Deadline moved earlier: the armed entry is useless, requeue.
             sim._kill_entry(entry)
-        self._entry = sim._push(deadline, self._fire, (), None)
+        self._entry = sim._push(deadline, self._fire, ())
 
     # ``restart`` reads better at call sites that are refreshing a timeout.
     restart = start
@@ -459,7 +586,7 @@ class Timer:
         if deadline > sim._now:
             # A coalesced restart moved the deadline past this entry's time;
             # re-arm once for the remaining interval.
-            self._entry = sim._push(deadline, self._fire, (), None)
+            self._entry = sim._push(deadline, self._fire, ())
             return
         self._deadline = None
         self._entry = None

@@ -175,8 +175,8 @@ def build_graph(
             seed=seed + offset + 1,
             name=f"{b}->{a}",
         )
-        forward.attach(net_nodes[b].receive_from_link)
-        reverse.attach(net_nodes[a].receive_from_link)
+        forward.attach(net_nodes[b].ip.receive)
+        reverse.attach(net_nodes[a].ip.receive)
         net.links[(a, b)] = forward
         net.links[(b, a)] = reverse
         edges[(a, b)] = delay

@@ -120,6 +120,16 @@ class Link:
         self._rng = random.Random(seed)
         self._queue: Deque[tuple] = deque()  # (packet, enqueue_time)
         self._busy = False
+        #: The packet currently being serialised, and the delivery pipeline
+        #: of packets propagating towards the far end.  Propagation delay is
+        #: constant per link, so deliveries complete in FIFO order and the
+        #: completion events need not carry the packet: the callbacks are
+        #: bound once here and scheduled argument-free, which removes the
+        #: two per-hop closure/argument allocations from the hot path.
+        self._tx_packet: Optional[Packet] = None
+        self._in_flight: Deque[Packet] = deque()
+        self._finish_cb = self._finish_transmission
+        self._deliver_cb = self._deliver
         self._receiver: Optional[Callable[[Packet], None]] = None
         self._drop_hook: Optional[Callable[[Packet, str], None]] = None
         # Telemetry probe slots (see repro.telemetry.probes): None is the
@@ -170,6 +180,8 @@ class Link:
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.stats.dropped_random += 1
             self._notify_drop(packet, "random")
+            if packet._pool_state == 1:
+                self.sim.packet_pool.release(packet)
             return False
 
         # Overflow is checked before ECN marking: a packet the full queue is
@@ -178,6 +190,8 @@ class Link:
         if self.queue_limit is not None and self.queue_length >= self.queue_limit:
             self.stats.dropped_overflow += 1
             self._notify_drop(packet, "overflow")
+            if packet._pool_state == 1:
+                self.sim.packet_pool.release(packet)
             return False
 
         if self.ecn_threshold is not None and packet.ecn_capable and self.queue_length >= self.ecn_threshold:
@@ -200,21 +214,32 @@ class Link:
             self._busy = False
             return
         self._busy = True
+        sim = self.sim
         packet, enqueue_time = self._queue.popleft()
-        self.stats.dequeued_packets += 1
-        self.stats.queue_delay_total += self.sim.now - enqueue_time
-        tx_time = self.transmission_time(packet)
-        self.stats.busy_time += tx_time
-        self.sim.schedule(tx_time, self._finish_transmission, packet)
+        stats = self.stats
+        stats.dequeued_packets += 1
+        stats.queue_delay_total += sim._now - enqueue_time
+        tx_time = packet.size * 8.0 / self.rate_bps
+        stats.busy_time += tx_time
+        # Argument-free raw entry: the serialising packet rides in
+        # ``_tx_packet`` instead of the event, so nothing per-hop is
+        # allocated beyond the queue entry itself.
+        self._tx_packet = packet
+        sim._push(sim._now + tx_time, self._finish_cb, ())
 
-    def _finish_transmission(self, packet: Packet) -> None:
-        # Propagation happens in parallel with the next serialisation.
-        self.sim.schedule(self.delay, self._deliver, packet)
+    def _finish_transmission(self) -> None:
+        # Propagation happens in parallel with the next serialisation; the
+        # constant delay makes the in-flight pipeline strictly FIFO.
+        self._in_flight.append(self._tx_packet)
+        sim = self.sim
+        sim._push(sim._now + self.delay, self._deliver_cb, ())
         self._start_next()
 
-    def _deliver(self, packet: Packet) -> None:
-        self.stats.delivered_packets += 1
-        self.stats.delivered_bytes += packet.size
+    def _deliver(self) -> None:
+        packet = self._in_flight.popleft()
+        stats = self.stats
+        stats.delivered_packets += 1
+        stats.delivered_bytes += packet.size
         probe = self._probe_deliver
         if probe is not None:
             probe(self.sim.now, {"link": self.name, "size": packet.size})

@@ -285,6 +285,116 @@ def bench_figure3_scenario(transfer_bytes: int, repeats: int) -> BenchResult:
 
 
 # ====================================================================== #
+# Packet pool: segment construction via recycle vs seed allocation       #
+# ====================================================================== #
+def bench_packet_pool(n: int, repeats: int) -> BenchResult:
+    """Cost of building one TCP data segment, pooled vs seed-allocated.
+
+    The optimised side is the real ``data_segment`` builder handed a
+    :class:`~repro.netsim.packet.PacketPool` — after warmup every build is
+    a free-list pop plus slot assignments on the recycled
+    :class:`TCPHeader`.  The baseline is the seed's builder preserved in
+    :mod:`repro.perf.legacy`: a fresh dataclass instance plus a fresh
+    4-entry header dict per segment.  This is the per-packet fixed cost
+    every simulated transmission pays.
+    """
+    from ..netsim.packet import PacketPool
+    from ..transport.tcp.segments import data_segment
+
+    from .legacy import legacy_data_segment
+
+    pool = PacketPool()
+
+    def pooled_side() -> float:
+        release = pool.release
+        start = time.perf_counter()
+        for index in range(n):
+            packet = data_segment(
+                "10.0.0.1", "10.0.0.2", 10_000, 80, index * 1448, 1448,
+                index * 1e-4, pool=pool,
+            )
+            release(packet)
+        return time.perf_counter() - start
+
+    def legacy_side() -> float:
+        start = time.perf_counter()
+        for index in range(n):
+            legacy_data_segment(
+                "10.0.0.1", "10.0.0.2", 10_000, 80, index * 1448, 1448,
+                index * 1e-4,
+            )
+        return time.perf_counter() - start
+
+    wall, base = _best_of_pair(pooled_side, legacy_side, repeats)
+    return BenchResult(
+        name="packet_pool",
+        ops=n,
+        wall_s=wall,
+        baseline_wall_s=base,
+        notes=(
+            "TCP data_segment via pool acquire/release vs the seed's "
+            "dataclass + per-packet header dict; ops = segments built"
+        ),
+        extra={"pool_created": float(pool.created)},
+    )
+
+
+# ====================================================================== #
+# Packet churn: end-to-end per-packet cost through link + IP + TCP       #
+# ====================================================================== #
+def bench_packet_churn(transfer_bytes: int, repeats: int) -> BenchResult:
+    """Wall clock per simulated packet on a clean bulk TCP transfer.
+
+    One Reno transfer over a fast, loss-free channel: nearly every
+    dispatched event is packet machinery (serialise, propagate, deliver,
+    demux, ACK), so the ``wall_us_per_packet`` extra is the end-to-end
+    price of moving one packet through link + IP + transport.  The CI job
+    summary prints it as the per-packet budget; ops = packets delivered
+    across both directions.
+    """
+    from ..netsim import Channel, Host, Simulator
+    from ..transport.tcp import RenoTCPSender, TCPListener
+
+    delivered = [0]
+    pool_created = [0]
+
+    def once() -> float:
+        sim = Simulator()
+        sender_host = Host(sim, "snd", "10.0.0.1")
+        receiver_host = Host(sim, "rcv", "10.0.0.2")
+        channel = Channel(sim, sender_host, receiver_host, rate_bps=50e6,
+                          one_way_delay=0.005, queue_limit=200, seed=1)
+        TCPListener(receiver_host, 80)
+        sender = RenoTCPSender(sender_host, receiver_host.addr, 80)
+        sender.send(transfer_bytes)
+        start = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - start
+        assert sender.done
+        delivered[0] = (channel.forward.stats.delivered_packets
+                        + channel.reverse.stats.delivered_packets)
+        pool_created[0] = sim.packet_pool.created if sim.packet_pool else 0
+        return elapsed
+
+    wall = _best_of(once, repeats)
+    per_packet_us = wall / delivered[0] * 1e6 if delivered[0] else 0.0
+    return BenchResult(
+        name="packet_churn",
+        ops=delivered[0],
+        wall_s=wall,
+        notes=(
+            "bulk Reno transfer, 50 Mbps / 10 ms RTT / no loss; ops = packets "
+            "delivered in both directions; the whole run recycles "
+            "pool_created pooled segments"
+        ),
+        extra={
+            "wall_us_per_packet": per_packet_us,
+            "pool_created": float(pool_created[0]),
+        },
+    )
+
+
+# ====================================================================== #
 # Scenario compile: declarative spec -> wired simulation                 #
 # ====================================================================== #
 def bench_scenario_build(builds: int, repeats: int) -> BenchResult:
@@ -614,9 +724,12 @@ def bench_experiments_parallel(
 #: Workload sizes: (event_churn_n, timer_restart_n, grant_flows,
 #: grant_requests_per_flow, figure3_bytes, parallel_seeds,
 #: parallel_transfer_bytes, scenario_builds, telemetry_duration,
-#: graph_builds, churn_duration, store_reports, repeats)
-_FULL = (200_000, 200_000, 64, 256, 500_000, 8, 200_000, 2_000, 10.0, 300, 5.0, 200, 5)
-_QUICK = (30_000, 30_000, 32, 64, 100_000, 4, 60_000, 400, 4.0, 60, 2.0, 40, 3)
+#: graph_builds, churn_duration, store_reports, packet_pool_n,
+#: packet_churn_bytes, repeats)
+_FULL = (200_000, 200_000, 64, 256, 500_000, 8, 200_000, 2_000, 10.0, 300, 5.0, 200,
+         500_000, 5_000_000, 5)
+_QUICK = (30_000, 30_000, 32, 64, 100_000, 4, 60_000, 400, 4.0, 60, 2.0, 40,
+          100_000, 1_000_000, 3)
 
 
 def run_benchmarks(quick: bool = False, label: Optional[str] = None) -> dict:
@@ -634,13 +747,15 @@ def run_benchmarks(quick: bool = False, label: Optional[str] = None) -> dict:
     sizes = _QUICK if quick else _FULL
     (churn_n, timer_n, grant_flows, grant_reqs, fig3_bytes, par_seeds, par_bytes,
      scenario_builds, telemetry_duration, graph_builds, churn_duration, store_reports,
-     repeats) = sizes
+     packet_pool_n, packet_churn_bytes, repeats) = sizes
     pool_jobs = max(2, min(4, os.cpu_count() or 1))
     results = [
         bench_event_churn(churn_n, repeats),
         bench_timer_restart(timer_n, repeats),
         bench_grant_dispatch(grant_flows, grant_reqs, repeats),
         bench_figure3_scenario(fig3_bytes, repeats),
+        bench_packet_pool(packet_pool_n, repeats),
+        bench_packet_churn(packet_churn_bytes, repeats),
         bench_scenario_build(scenario_builds, repeats),
         bench_graph_build(graph_builds, repeats),
         bench_workload_churn(churn_duration, repeats),

@@ -14,12 +14,15 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
 
 __all__ = [
     "LegacyEvent",
     "LegacySimulator",
     "LegacyTimer",
+    "LegacyPacket",
+    "legacy_data_segment",
     "unbatched_maybe_grant",
     "legacy_dummynet_pair",
 ]
@@ -161,6 +164,71 @@ class LegacyTimer:
     def _fire(self) -> None:
         self._event = None
         self._callback(*self._args, **self._kwargs)
+
+
+_legacy_packet_ids = itertools.count(1)
+
+#: Fixed header sizes (mirrors the live packet module's constants; copied so
+#: the baseline stays frozen even if the live values ever change).
+_IP_HEADER_BYTES = 20
+_TCP_HEADER_BYTES = 32
+
+
+@dataclass
+class LegacyPacket:
+    """Seed packet record: a dataclass with a per-packet ``headers`` dict.
+
+    Every segment the seed built allocated a fresh dataclass instance *and*
+    a fresh dict for its transport headers; this copy is the baseline the
+    ``packet_pool`` benchmark measures the slotted/pooled path against.
+    """
+
+    src: str
+    dst: str
+    sport: int
+    dport: int
+    protocol: str
+    payload_bytes: int = 0
+    headers: Dict[str, Any] = field(default_factory=dict)
+    ecn_capable: bool = False
+    ecn_marked: bool = False
+    flow_id: Optional[int] = None
+    cm_matchable: bool = True
+    created_at: float = 0.0
+    packet_id: int = field(default_factory=lambda: next(_legacy_packet_ids))
+
+    @property
+    def size(self) -> int:
+        return _IP_HEADER_BYTES + _TCP_HEADER_BYTES + self.payload_bytes
+
+
+def legacy_data_segment(
+    src: str,
+    dst: str,
+    sport: int,
+    dport: int,
+    seq: int,
+    length: int,
+    timestamp: float,
+    retransmission: bool = False,
+    ecn_capable: bool = False,
+) -> LegacyPacket:
+    """The seed's ``data_segment``: new dataclass + new 4-entry header dict."""
+    return LegacyPacket(
+        src=src,
+        dst=dst,
+        sport=sport,
+        dport=dport,
+        protocol="tcp",
+        payload_bytes=length,
+        ecn_capable=ecn_capable,
+        headers={
+            "seq": seq,
+            "len": length,
+            "ts": timestamp,
+            "retransmission": retransmission,
+        },
+    )
 
 
 def unbatched_maybe_grant(manager, macroflow) -> None:

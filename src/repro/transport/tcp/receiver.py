@@ -17,7 +17,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ...netsim.engine import Simulator, Timer
 from ...netsim.node import Host
-from ...netsim.packet import PROTO_TCP, Packet
+from ...netsim.packet import PROTO_TCP, Packet, pool_for
 from .segments import ack_segment, synack_segment
 
 __all__ = ["TCPListener", "TCPReceiverConnection"]
@@ -53,6 +53,7 @@ class TCPReceiverConnection:
         self._segments_since_ack = 0
         self._last_ts: Optional[float] = None
         self._delack_timer = Timer(self.sim, self._delayed_ack_expired)
+        self._pool = pool_for(self.sim)
         #: "Quick ACK" counter: the first few in-order segments of a
         #: connection are acknowledged immediately (as Linux does) so that a
         #: sender starting from a one-segment initial window is not stalled
@@ -68,15 +69,15 @@ class TCPReceiverConnection:
     def handle_segment(self, packet: Packet) -> None:
         """Process one arriving segment (data or FIN) and generate ACKs."""
         headers = packet.headers
-        if headers.get("fin"):
+        if headers.fin:
             self.fin_received = True
             self._send_ack(immediate=True, ecn_echo=packet.ecn_marked)
             return
-        seq = headers.get("seq")
-        length = headers.get("len", packet.payload_bytes)
+        seq = headers.seq
+        length = headers.len
         if seq is None or length <= 0:
             return
-        ts = headers.get("ts")
+        ts = headers.ts
 
         if seq == self.rcv_nxt:
             # In-order arrival: deliver it and anything contiguous behind it.
@@ -133,6 +134,7 @@ class TCPReceiverConnection:
             ack=self.rcv_nxt,
             ts_echo=self._last_ts,
             ecn_echo=ecn_echo,
+            pool=self._pool,
         )
         self.acks_sent += 1
         self.host.ip.send(ack)
@@ -155,6 +157,7 @@ class TCPListener:
         self.on_data = on_data
         self.on_connection = on_connection
         self.connections: Dict[Tuple[str, int], TCPReceiverConnection] = {}
+        self._pool = pool_for(host.sim)
         host.ip.register_handler(PROTO_TCP, port, self._handle_packet)
 
     def close(self) -> None:
@@ -173,7 +176,7 @@ class TCPListener:
     # -------------------------------------------------------------- internals
     def _handle_packet(self, packet: Packet) -> None:
         key = (packet.src, packet.sport)
-        if packet.headers.get("syn"):
+        if packet.headers.syn:
             connection = self.connections.get(key)
             if connection is None:
                 connection = TCPReceiverConnection(
@@ -195,7 +198,8 @@ class TCPListener:
                 dst=packet.src,
                 sport=self.port,
                 dport=packet.sport,
-                ts_echo=packet.headers.get("ts"),
+                ts_echo=packet.headers.ts,
+                pool=self._pool,
             )
             self.host.ip.send(reply)
             return

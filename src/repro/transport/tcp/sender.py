@@ -24,7 +24,7 @@ from typing import Callable, Optional
 from ...core.rtt import RttEstimator
 from ...netsim.engine import Simulator, Timer
 from ...netsim.node import Host
-from ...netsim.packet import DEFAULT_MSS, PROTO_TCP, Packet
+from ...netsim.packet import DEFAULT_MSS, PROTO_TCP, Packet, TCPHeader, pool_for
 from .segments import data_segment, syn_segment
 
 __all__ = ["TCPSenderBase"]
@@ -95,6 +95,9 @@ class TCPSenderBase:
         self._backoff = 1.0
         self._rto_timer = Timer(self.sim, self._rto_expired)
         self._syn_timer = Timer(self.sim, self._retry_syn)
+        #: Per-simulator segment recycler; outgoing segments are acquired
+        #: here and released by the IP input path at the far end.
+        self._pool = pool_for(self.sim)
 
         # Statistics.
         self.data_packets_sent = 0
@@ -227,6 +230,7 @@ class TCPSenderBase:
             timestamp=self.sim.now,
             retransmission=retransmission,
             ecn_capable=self.ecn,
+            pool=self._pool,
         )
         self.host.ip.send(packet)
         self.data_packets_sent += 1
@@ -270,7 +274,8 @@ class TCPSenderBase:
     # Handshake                                                              #
     # ====================================================================== #
     def _send_syn(self) -> None:
-        packet = syn_segment(self.host.addr, self.dst, self.sport, self.dport, self.sim.now)
+        packet = syn_segment(self.host.addr, self.dst, self.sport, self.dport,
+                             self.sim.now, pool=self._pool)
         self.host.ip.send(packet)
         self._syn_timer.restart(SYN_RETRY_TIMEOUT)
 
@@ -285,29 +290,29 @@ class TCPSenderBase:
         if self.closed:
             return
         headers = packet.headers
-        if headers.get("syn"):
+        if headers.syn:
             self._handle_synack(headers)
             return
-        if "ack" in headers:
+        if headers.ack is not None:
             self._handle_ack(headers)
 
-    def _handle_synack(self, headers: dict) -> None:
+    def _handle_synack(self, headers: TCPHeader) -> None:
         if self.connected:
             return
         self.connected = True
         self.connecting = False
         self.established_time = self.sim.now
         self._syn_timer.cancel()
-        ts_echo = headers.get("ts_echo")
+        ts_echo = headers.ts_echo
         if ts_echo is not None:
             self.rtt.sample(self.sim.now - ts_echo)
         self._on_established()
         self._on_send_opportunity()
 
-    def _handle_ack(self, headers: dict) -> None:
-        ack = headers["ack"]
-        ts_echo = headers.get("ts_echo")
-        ecn_echo = bool(headers.get("ecn_echo"))
+    def _handle_ack(self, headers: TCPHeader) -> None:
+        ack = headers.ack
+        ts_echo = headers.ts_echo
+        ecn_echo = headers.ecn_echo
         self.acks_received += 1
 
         if ack > self.snd_una:

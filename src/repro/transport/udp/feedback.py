@@ -94,8 +94,14 @@ class AckReflector:
         self.bytes_received += packet.payload_bytes
         self._unacked_packets += 1
         self._unacked_bytes += packet.payload_bytes
-        self._last_seq = packet.headers.get("seq", self._last_seq)
-        self._last_ts = packet.headers.get("ts", self._last_ts)
+        # Typed accessors on the UDPHeader record; a datagram without the
+        # field leaves the last-seen value in place.
+        seq = packet.headers.seq
+        if seq is not None:
+            self._last_seq = seq
+        ts = packet.headers.ts
+        if ts is not None:
+            self._last_ts = ts
         self._last_src = (packet.src, packet.sport)
         if self.on_data is not None:
             self.on_data(packet, self.sim.now)

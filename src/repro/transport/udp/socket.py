@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ...netsim.node import Host
-from ...netsim.packet import PROTO_UDP, Packet
+from ...netsim.packet import PROTO_UDP, Packet, UDPHeader
 
 __all__ = ["UDPSocket"]
 
@@ -87,7 +87,10 @@ class UDPSocket:
             dport=port,
             protocol=PROTO_UDP,
             payload_bytes=payload_bytes,
-            headers=dict(headers or {}),
+            # The typed UDP header record copies the caller's dict: datagrams
+            # are returned to (and may be retained by) the application, so
+            # they are never pooled and each needs its own record.
+            headers=UDPHeader(headers) if headers else UDPHeader(),
             # Only connected sockets can be matched to their CM flow by the
             # kernel; unconnected senders must cm_notify themselves.
             cm_matchable=self.is_connected,

@@ -27,7 +27,7 @@ from collections import deque
 from typing import Deque, Optional, Tuple
 
 from ...netsim.node import Host
-from ...netsim.packet import PROTO_UDP, Packet
+from ...netsim.packet import PROTO_UDP, Packet, UDPHeader
 from .socket import UDPSocket
 
 __all__ = ["CMUDPSocket"]
@@ -102,7 +102,9 @@ class CMUDPSocket(UDPSocket):
         if len(self._queue) >= self.max_queue_packets:
             self.queue_drops += 1
             return None
-        self._queue.append((payload_bytes, addr, port, dict(headers or {})))
+        self._queue.append(
+            (payload_bytes, addr, port, UDPHeader(headers) if headers else UDPHeader())
+        )
         self.cm.cm_request(self.flow_id)
         return None
 

@@ -56,9 +56,16 @@ class TestScheduling:
         sim.run()
         assert order == ["first", "still-first", "soon"]
 
-    def test_kwargs_passed_to_callback(self, sim):
+    def test_keyword_arguments_rejected(self, sim):
+        # Callback arguments are positional-only on the scheduling fast path
+        # (a kwargs dict per call is an allocation the hot path can't
+        # afford); functools.partial is the supported spelling.
+        import functools
+
+        with pytest.raises(TypeError):
+            sim.schedule(0.1, lambda **kw: None, value=42)
         seen = {}
-        sim.schedule(0.1, lambda **kw: seen.update(kw), value=42)
+        sim.schedule(0.1, functools.partial(lambda **kw: seen.update(kw), value=42))
         sim.run()
         assert seen == {"value": 42}
 
