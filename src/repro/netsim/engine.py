@@ -174,6 +174,9 @@ class Simulator:
         "_running",
         "_stopped",
         "_packet_seq",
+        "_control_cb",
+        "_control_interval",
+        "_control_entry",
         "events_dispatched",
         "packet_pool",
     )
@@ -189,6 +192,12 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._packet_seq = 0
+        # Control-tick chain (see start_control): a background callback the
+        # service layer uses to drain cross-thread mailboxes from *inside*
+        # the event loop.  None means no chain is armed.
+        self._control_cb: Optional[Callable] = None
+        self._control_interval = 0.0
+        self._control_entry: Optional[list] = None
         self.events_dispatched = 0
         #: Lazily-attached per-simulator :class:`~repro.netsim.packet.PacketPool`
         #: (see :func:`repro.netsim.packet.pool_for`); ``None`` until the
@@ -343,6 +352,66 @@ class Simulator:
     def stop(self) -> None:
         """Stop the current :meth:`run` after the in-flight event returns."""
         self._stopped = True
+
+    # ----------------------------------------------------------- control tick
+    def start_control(self, interval: float, callback: Callable[[], None]) -> None:
+        """Arm a periodic *control tick*: ``callback()`` every ``interval``.
+
+        The tick is a first-class background event: it fires from inside the
+        dispatch loop (so the callback may safely touch any engine-owned
+        object — this is the thread boundary the service layer's per-job
+        mailbox relies on), and it re-arms itself until :meth:`stop_control`.
+        Because the chain keeps the queue non-empty, consumers that used
+        "no pending events" as an idle signal must ask
+        :meth:`idle_except_control` instead of :meth:`peek`.
+
+        An exception raised by the callback propagates out of :meth:`run`
+        and breaks the chain — that is how a cooperative cancel aborts a
+        simulation without touching engine state from another thread.
+        """
+        if interval <= 0:
+            raise SimulationError(f"control interval must be positive, got {interval}")
+        if self._control_cb is not None:
+            raise SimulationError("a control tick is already armed; stop_control() it first")
+        self._control_cb = callback
+        self._control_interval = float(interval)
+        self._control_entry = self._push(self._now + self._control_interval, self._control_fire, ())
+
+    def stop_control(self) -> None:
+        """Disarm the control tick (idempotent)."""
+        self._control_cb = None
+        entry = self._control_entry
+        self._control_entry = None
+        if entry is not None and entry[_STATE] == _PENDING:
+            self._kill_entry(entry)
+
+    def _control_fire(self) -> None:
+        callback = self._control_cb
+        if callback is None:
+            self._control_entry = None
+            return
+        callback()
+        if self._control_cb is not None:
+            self._control_entry = self._push(
+                self._now + self._control_interval, self._control_fire, ()
+            )
+
+    def idle_except_control(self) -> bool:
+        """True when nothing is pending besides the control-tick chain.
+
+        With no control tick armed this is exactly ``peek() is None``; with
+        one armed it answers the question ``peek`` can no longer ask ("has
+        the simulation itself drained?"), which keeps horizon/early-exit
+        decisions byte-identical between hooked and batch runs.
+        """
+        control = self._control_entry
+        for entry in self._heap:
+            if entry[_STATE] == _PENDING and entry is not control:
+                return False
+        for entry in self._tail:
+            if entry[_STATE] == _PENDING and entry is not control:
+                return False
+        return True
 
     def _pop_next(self) -> Optional[list]:
         """Pop the earliest live entry across both lanes (``None`` if drained)."""

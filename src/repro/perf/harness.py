@@ -719,17 +719,78 @@ def bench_experiments_parallel(
 
 
 # ====================================================================== #
+# Service control plane: job throughput through the in-process router    #
+# ====================================================================== #
+def bench_service_submit(jobs: int, repeats: int) -> BenchResult:
+    """Jobs/s through the service stack vs. direct ``scenario.run`` calls.
+
+    The service side submits ``jobs`` short scenarios through the JSON
+    router (``POST /v1/jobs``) into a 4-slot :class:`JobManager` and waits
+    for the fleet to drain — dispatch, validation, worker hand-off, the
+    per-job control tick and result collection all included.  The baseline
+    runs the identical (spec, seed) list as plain in-process ``run()``
+    calls, so the speedup column reads as the control plane's overhead
+    (expected near, and with multiple cores idle-waiting below, 1.0 — the
+    simulations themselves dominate).  ops = jobs completed.
+    """
+    import json as _json
+
+    from ..scenario.presets import get_preset
+    from ..scenario.runner import run
+    from ..service.api import ServiceApi
+    from ..service.jobs import JobManager
+
+    spec = get_preset("web_vat_mix")
+    spec.stop.until = 1.0  # short horizon: measure the control plane, not the sim
+    spec.validate()
+    seeds = list(range(1, jobs + 1))
+    body = _json.dumps({"spec": spec.to_dict(), "seeds": seeds}).encode()
+
+    def service_side() -> float:
+        manager = JobManager(slots=4)
+        api = ServiceApi(manager)
+        start = time.perf_counter()
+        response = api.dispatch("POST", "/v1/jobs", body)
+        if response.status != 201:
+            raise RuntimeError(f"bench submit failed: {response.payload}")
+        for entry in response.json()["jobs"]:
+            manager.wait(entry["id"], timeout=300.0)
+        elapsed = time.perf_counter() - start
+        manager.shutdown()
+        return elapsed
+
+    def baseline_side() -> float:
+        start = time.perf_counter()
+        for seed in seeds:
+            run(spec, seed=seed)
+        return time.perf_counter() - start
+
+    wall, base = _best_of_pair(service_side, baseline_side, repeats)
+    return BenchResult(
+        name="service_submit",
+        ops=jobs,
+        wall_s=wall,
+        baseline_wall_s=base,
+        notes=(
+            f"{jobs} web_vat_mix jobs via POST /v1/jobs into a 4-slot JobManager vs "
+            "the same (spec, seed) list as direct scenario.run calls; ops = jobs"
+        ),
+        extra={"slots": 4.0},
+    )
+
+
+# ====================================================================== #
 # Driver                                                                 #
 # ====================================================================== #
 #: Workload sizes: (event_churn_n, timer_restart_n, grant_flows,
 #: grant_requests_per_flow, figure3_bytes, parallel_seeds,
 #: parallel_transfer_bytes, scenario_builds, telemetry_duration,
 #: graph_builds, churn_duration, store_reports, packet_pool_n,
-#: packet_churn_bytes, repeats)
+#: packet_churn_bytes, service_jobs, repeats)
 _FULL = (200_000, 200_000, 64, 256, 500_000, 8, 200_000, 2_000, 10.0, 300, 5.0, 200,
-         500_000, 5_000_000, 5)
+         500_000, 5_000_000, 8, 5)
 _QUICK = (30_000, 30_000, 32, 64, 100_000, 4, 60_000, 400, 4.0, 60, 2.0, 40,
-          100_000, 1_000_000, 3)
+          100_000, 1_000_000, 4, 3)
 
 
 def run_benchmarks(quick: bool = False, label: Optional[str] = None) -> dict:
@@ -747,7 +808,7 @@ def run_benchmarks(quick: bool = False, label: Optional[str] = None) -> dict:
     sizes = _QUICK if quick else _FULL
     (churn_n, timer_n, grant_flows, grant_reqs, fig3_bytes, par_seeds, par_bytes,
      scenario_builds, telemetry_duration, graph_builds, churn_duration, store_reports,
-     packet_pool_n, packet_churn_bytes, repeats) = sizes
+     packet_pool_n, packet_churn_bytes, service_jobs, repeats) = sizes
     pool_jobs = max(2, min(4, os.cpu_count() or 1))
     results = [
         bench_event_churn(churn_n, repeats),
@@ -761,6 +822,7 @@ def run_benchmarks(quick: bool = False, label: Optional[str] = None) -> dict:
         bench_workload_churn(churn_duration, repeats),
         bench_telemetry_overhead(telemetry_duration, repeats),
         bench_result_store(store_reports, repeats),
+        bench_service_submit(service_jobs, min(repeats, 2)),
         bench_experiments_parallel(par_seeds, par_bytes, pool_jobs, min(repeats, 2)),
     ]
     from ..experiments.artifacts import git_revision

@@ -32,7 +32,7 @@ from .applications import (
 )
 from .builder import Scenario, build
 from .presets import PRESETS, get_preset, preset_names
-from .runner import ScenarioResult, run, run_built, validate_result_payload
+from .runner import ScenarioResult, run, run_built, run_streaming, validate_result_payload
 from .spec import (
     AppSpec,
     DumbbellSpec,
@@ -75,6 +75,7 @@ __all__ = [
     "ScenarioResult",
     "run",
     "run_built",
+    "run_streaming",
     "validate_result_payload",
     "PRESETS",
     "get_preset",

@@ -98,6 +98,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from ..results.store import ResultStore
 
         store = ResultStore(args.store)
+    failures = 0
     try:
         for seed in seeds:
             trace_path = None
@@ -106,11 +107,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
             try:
                 result = run(spec, seed=seed, trace_path=trace_path)
             except SpecError as exc:
-                # Some constraints (e.g. an app that needs a CM on its host) are
-                # only checkable while wiring the scenario; report them exactly
-                # like eager validation failures.
-                print(f"invalid scenario: {exc}", file=sys.stderr)
-                return 2
+                # Some constraints (e.g. an app that needs a CM on its host)
+                # are only checkable while wiring the scenario.  A single-seed
+                # run is wholly invalid — same exit 2 as eager validation.  A
+                # multi-seed batch reports one clean line and keeps going, so
+                # it does not lose its remaining seeds to one bad trial (the
+                # report-and-continue convention the experiments CLI follows).
+                if len(seeds) == 1:
+                    print(f"invalid scenario: {exc}", file=sys.stderr)
+                    return 2
+                print(f"invalid scenario (seed {seed}): {exc}", file=sys.stderr)
+                failures += 1
+                continue
             if not args.quiet:
                 _print_result(result)
             if trace_path:
@@ -129,6 +137,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     finally:
         if store is not None:
             store.close()
+    if failures:
+        print(f"{failures} of {len(seeds)} seed(s) failed", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -20,7 +20,19 @@ from typing import Any, Dict, List, Optional
 from .builder import Scenario, build
 from .spec import ScenarioSpec
 
-__all__ = ["ScenarioResult", "run", "run_built", "validate_result_payload"]
+__all__ = [
+    "ScenarioResult",
+    "run",
+    "run_built",
+    "run_streaming",
+    "validate_result_payload",
+    "DEFAULT_CONTROL_INTERVAL",
+]
+
+#: How often (simulated seconds) a hooked run fires its control tick.  The
+#: value only bounds control/progress latency — the tick itself must never
+#: perturb the simulation, so results are independent of it.
+DEFAULT_CONTROL_INTERVAL = 0.05
 
 #: Keys every serialized ScenarioResult must carry (the CI golden schema).
 RESULT_SCHEMA_KEYS = ("name", "seed", "spec_digest", "duration_s", "apps", "links", "hosts")
@@ -222,8 +234,20 @@ def _collect(scenario: Scenario, duration: float) -> ScenarioResult:
     return result
 
 
-def run_built(scenario: Scenario) -> ScenarioResult:
-    """Drive an already-compiled scenario to its stop condition."""
+def run_built(scenario: Scenario, *, control_hook=None, progress_cb=None,
+              control_interval: float = DEFAULT_CONTROL_INTERVAL) -> ScenarioResult:
+    """Drive an already-compiled scenario to its stop condition.
+
+    ``control_hook(scenario)`` and ``progress_cb(sim_now, horizon)`` are the
+    streaming hooks the service layer attaches (see :func:`run_streaming`):
+    when either is given, the engine arms a periodic control tick that fires
+    the hooks every ``control_interval`` simulated seconds *from inside the
+    event loop*.  The hooks must only read state or apply mutations the
+    simulation sanctions (the service mailbox contract) — under that
+    contract the result is byte-identical to an unhooked run of the same
+    ``(spec, seed)``.  A hook that raises aborts the run; the exception
+    propagates to the caller after telemetry is closed.
+    """
     spec = scenario.spec
     sim = scenario.sim
     start = sim.now
@@ -248,31 +272,72 @@ def run_built(scenario: Scenario) -> ScenarioResult:
 
     stop = spec.stop
     horizon = start + stop.until
-    if stop.when_apps_done:
-        while sim.now < horizon:
-            states = [app.done() for app in scenario.apps]
-            if any(state is not None for state in states) and all(
-                state in (None, True) for state in states
-            ):
-                break
-            if sim.peek() is None:
-                break
-            sim.run(until=min(horizon, sim.now + stop.check_interval))
-    else:
-        sim.run(until=horizon)
+    hooked = control_hook is not None or progress_cb is not None
+    if hooked:
+        def _control_tick() -> None:
+            if control_hook is not None:
+                control_hook(scenario)
+            if progress_cb is not None:
+                progress_cb(sim.now, horizon)
 
-    if scenario.telemetry is not None:
-        scenario.telemetry.stop()
-    # Workloads stop first: their teardown detaches the apps they spawned
-    # and folds the survivors' counters into the workload metrics.
-    for workload in scenario.workloads:
-        workload.stop()
-    for app in scenario.apps:
-        app.stop()
-    result = _collect(scenario, duration=sim.now - start)
-    if scenario.telemetry is not None:
-        scenario.telemetry.close()
-    return result
+        sim.start_control(control_interval, _control_tick)
+        if progress_cb is not None:
+            progress_cb(sim.now, horizon)
+    try:
+        if stop.when_apps_done:
+            while sim.now < horizon:
+                states = [app.done() for app in scenario.apps]
+                if any(state is not None for state in states) and all(
+                    state in (None, True) for state in states
+                ):
+                    break
+                # The control chain keeps the queue non-empty, so the "has
+                # the simulation drained?" question must ignore it — this is
+                # what keeps hooked and batch runs byte-identical here.
+                if sim.idle_except_control():
+                    break
+                sim.run(until=min(horizon, sim.now + stop.check_interval))
+        else:
+            sim.run(until=horizon)
+
+        if scenario.telemetry is not None:
+            scenario.telemetry.stop()
+        # Workloads stop first: their teardown detaches the apps they spawned
+        # and folds the survivors' counters into the workload metrics.
+        for workload in scenario.workloads:
+            workload.stop()
+        for app in scenario.apps:
+            app.stop()
+        result = _collect(scenario, duration=sim.now - start)
+        if progress_cb is not None:
+            progress_cb(sim.now, horizon)
+        return result
+    finally:
+        if hooked:
+            sim.stop_control()
+        if scenario.telemetry is not None:
+            scenario.telemetry.close()
+
+
+def run_streaming(spec: ScenarioSpec, seed: Optional[int] = None, *,
+                  trace_path: Optional[str] = None,
+                  control_hook=None, progress_cb=None,
+                  control_interval: float = DEFAULT_CONTROL_INTERVAL) -> ScenarioResult:
+    """Compile and execute ``spec`` with optional live-control hooks.
+
+    This is the one code path both the batch CLI (:func:`run`, no hooks) and
+    the ``repro.service`` job fleet (mailbox drain + progress reporting)
+    execute, so the two can never drift apart.  Hooks fire inside the event
+    loop (see :func:`run_built`); a run whose hooks only read state produces
+    a byte-identical result to the hook-free run of the same ``(spec,
+    seed)``.
+    """
+    return run_built(
+        build(spec, seed=seed, trace_path=trace_path),
+        control_hook=control_hook,
+        progress_cb=progress_cb,
+        control_interval=control_interval,
+    )
 
 
 def run(spec: ScenarioSpec, seed: Optional[int] = None,
@@ -283,4 +348,4 @@ def run(spec: ScenarioSpec, seed: Optional[int] = None,
     JSON-lines file (byte-identical per ``(spec, seed)``) without touching
     the result payload of specs that carry no telemetry block.
     """
-    return run_built(build(spec, seed=seed, trace_path=trace_path))
+    return run_streaming(spec, seed, trace_path=trace_path)
