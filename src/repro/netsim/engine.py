@@ -71,6 +71,13 @@ _DISPATCHED = 2
 #: they outnumber the live ones (amortised O(1) per cancellation).
 _COMPACT_MIN_DEAD = 512
 
+#: Sequence floor for :meth:`Simulator.push_late` entries.  Normal sequence
+#: numbers count up from zero one per event, so they can never reach this
+#: (2**62 events is thousands of simulated years); a late entry therefore
+#: sorts after every normally-scheduled event at the same timestamp, and
+#: same-time late entries order by their caller-supplied rank.
+_LATE_SEQ_BASE = 1 << 62
+
 
 class SimulationError(RuntimeError):
     """Raised when the simulator is used inconsistently.
@@ -285,6 +292,29 @@ class Simulator:
             tail.append(entry)
         else:
             self._enqueue_slow(entry)
+        return entry
+
+    def push_late(self, time: float, rank: int, callback: Callable, args: tuple = ()) -> list:
+        """Enqueue an entry that sorts *after* every normal event at ``time``.
+
+        ``rank`` breaks ties between same-time late entries (callers must
+        keep it unique per timestamp — list comparison would otherwise fall
+        through to the callback slot).  Used by the graph builds' ingress
+        sequencers to run per-node end-of-timestamp drains in a
+        content-defined order, independent of event-scheduling history —
+        the hook that lets sharded runs reproduce single-process bytes.
+
+        Late entries always go to the heap lane: the tail's append fast
+        path checks time only, so a huge-seq entry sitting at the tail's
+        right end would let a subsequent same-time normal append break the
+        (time, seq) sortedness the pop-side merge relies on.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time:.6f}, simulator already at {self._now:.6f}"
+            )
+        entry = [time, _LATE_SEQ_BASE + rank, _PENDING, callback, args]
+        _heappush(self._heap, entry)
         return entry
 
     def _enqueue_slow(self, entry: list) -> None:
@@ -544,7 +574,13 @@ class Simulator:
                         continue
                     event_time = entry[0]
                     if until is not None and event_time > until:
-                        tail.appendleft(entry)
+                        # Late entries (push_late) must never sit in the
+                        # tail — a same-time normal append behind one would
+                        # break the tail's (time, seq) sortedness.
+                        if entry[1] >= _LATE_SEQ_BASE:
+                            _heappush(heap, entry)
+                        else:
+                            tail.appendleft(entry)
                         self._now = until
                         break
                     self._now = event_time

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from .engine import Simulator
+from .ingress import IngressSequencer
 from .link import Link
 from .node import Host, Router
 
@@ -91,6 +92,10 @@ class GraphNet:
     #: ``next_hops[node][dst_node] -> neighbour`` (name level, for tests
     #: and debugging; the installed routes are keyed by address).
     next_hops: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: Per-node ingress sequencers (same-timestamp delivery ordering; see
+    #: :mod:`repro.netsim.ingress`).  Links deliver through these, not
+    #: straight into ``node.ip.receive``.
+    ingress: Dict[str, IngressSequencer] = field(default_factory=dict)
 
     def link(self, a: str, b: str) -> Link:
         """The directed link from node ``a`` to node ``b``."""
@@ -148,6 +153,15 @@ def build_graph(
             host_index += 1
 
     net = GraphNet(nodes=net_nodes, hosts=net_hosts)
+    # Deliveries go through per-node sequencers so that same-timestamp
+    # arrivals are processed in content-defined (link, seq) order — the
+    # order a sharded run reproduces exactly (see repro.netsim.ingress).
+    # Drain ranks are node *declaration* indices; link ports are keyed by
+    # global directed link index (2*i forward, 2*i+1 reverse), matching the
+    # shard build's numbering.
+    for rank, spec in enumerate(nodes):
+        name = spec["name"]
+        net.ingress[name] = IngressSequencer(sim, rank, net_nodes[name].ip.receive)
     edges: Dict[Tuple[str, str], float] = {}
     for index, spec in enumerate(links):
         a, b = spec["a"], spec["b"]
@@ -175,8 +189,8 @@ def build_graph(
             seed=seed + offset + 1,
             name=f"{b}->{a}",
         )
-        forward.attach(net_nodes[b].ip.receive)
-        reverse.attach(net_nodes[a].ip.receive)
+        forward.attach(net.ingress[b].port(2 * index))
+        reverse.attach(net.ingress[a].port(2 * index + 1))
         net.links[(a, b)] = forward
         net.links[(b, a)] = reverse
         edges[(a, b)] = delay

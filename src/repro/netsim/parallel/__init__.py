@@ -1,0 +1,19 @@
+"""Sharded parallel discrete-event engine (conservative lookahead).
+
+Partitions a ``graph:`` scenario into N shards along link-delay cut edges
+and runs one :class:`~repro.netsim.engine.Simulator` per shard in a worker
+process.  Cross-shard links become boundary stubs that forward serialized
+packets with ``ts = send_time + one_way_delay``; the minimum cut-link delay
+is the conservative lookahead window (CMB-style), so shards advance in
+barrier-synchronized windows and every forwarded packet always lands in the
+receiving shard's future.
+
+The contract is byte-determinism: a sharded run must produce the exact same
+result JSON — digest included — as the single-process run of the same spec.
+See ``docs/parallel_engine.md`` for the full contract and its limits.
+"""
+
+from .partition import Partition, UnionFind, partition_graph
+from .runner import run_sharded
+
+__all__ = ["Partition", "UnionFind", "partition_graph", "run_sharded"]

@@ -1,0 +1,69 @@
+"""Cross-shard packet serialization.
+
+Packets crossing a shard boundary are flattened to plain tuples: the live
+``Packet`` object cannot travel (it may be pool-managed by the sending
+shard's simulator, and its header objects use ``__slots__``), and an
+explicit wire format keeps the channel honest — only simulation-visible
+fields cross, never object identity.
+
+Decoding builds an *unmanaged* packet (``_pool_state == 0``): the receiving
+transport's unconditional ``pool.release`` on consumed segments is a no-op
+for unmanaged packets, so pooled and sharded paths coexist without
+double-release errors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..packet import Packet, TCPHeader, UDPHeader
+
+__all__ = ["encode_packet", "decode_packet"]
+
+#: Header discriminators on the wire.
+_H_TCP = 0
+_H_UDP = 1
+_H_DICT = 2
+
+
+def encode_packet(packet: Packet) -> Tuple:
+    """Flatten a packet (and its typed header) into a picklable tuple."""
+    headers = packet.headers
+    if type(headers) is TCPHeader:
+        header: Tuple = (
+            _H_TCP, headers.seq, headers.len, headers.ts, headers.retransmission,
+            headers.ack, headers.ts_echo, headers.ecn_echo, headers.syn, headers.fin,
+        )
+    elif type(headers) is UDPHeader:
+        header = (_H_UDP, dict(headers))
+    else:
+        # Plain dict (the Packet default) or an app-defined mapping; a copy
+        # crosses the pipe so the sender can release/reuse the original.
+        header = (_H_DICT, dict(headers))
+    return (
+        packet.src, packet.dst, packet.sport, packet.dport, packet.protocol,
+        packet.payload_bytes, header, packet.ecn_capable, packet.ecn_marked,
+        packet.flow_id, packet.cm_matchable, packet.created_at,
+    )
+
+
+def decode_packet(wire: Tuple, packet_id: Optional[int] = None) -> Packet:
+    """Rebuild an unmanaged packet from :func:`encode_packet` output."""
+    (src, dst, sport, dport, protocol, payload_bytes, header,
+     ecn_capable, ecn_marked, flow_id, cm_matchable, created_at) = wire
+    kind = header[0]
+    if kind == _H_TCP:
+        tcp = TCPHeader()
+        (tcp.seq, tcp.len, tcp.ts, tcp.retransmission, tcp.ack,
+         tcp.ts_echo, tcp.ecn_echo, tcp.syn, tcp.fin) = header[1:]
+        headers = tcp
+    elif kind == _H_UDP:
+        headers = UDPHeader(header[1])
+    else:
+        headers = dict(header[1])
+    return Packet(
+        src, dst, sport, dport, protocol=protocol, payload_bytes=payload_bytes,
+        headers=headers, ecn_capable=ecn_capable, ecn_marked=ecn_marked,
+        flow_id=flow_id, cm_matchable=cm_matchable, created_at=created_at,
+        packet_id=packet_id,
+    )

@@ -170,6 +170,11 @@ class Application:
     needs_peer: ClassVar[bool] = False
     #: Whether the host must have a Congestion Manager attached.
     needs_cm: ClassVar[bool] = False
+    #: Whether the constructor reaches *into* the live peer object (installs a
+    #: listener on it, reads its CM, ...) rather than only using ``peer.addr``.
+    #: The sharded engine keeps such host/peer pairs in the same shard; apps
+    #: that only address the peer can talk to it across a shard boundary.
+    colocate_peer: ClassVar[bool] = False
 
     def __init__(self, host: Host, peer: Optional[Host], spec: AppSpec, params: Dict[str, Any]):
         if self.needs_cm and host.cm is None:
@@ -408,6 +413,7 @@ class BulkApp(Application):
     name = "bulk"
     description = "ttcp-style buffered transfer incl. its own listener on the peer"
     needs_peer = True
+    colocate_peer = True  # installs its own listener on the live peer host
     PARAMS = {
         "variant": Param(str, default="cm", choices=("cm", "linux"),
                          help="cm = TCP/CM, linux = native Reno"),
@@ -717,6 +723,7 @@ class TcpApiApp(Application):
     name = "tcp_api"
     description = "Webserver-like TCP sender baseline for the API-overhead study"
     needs_peer = True
+    colocate_peer = True  # auto-creates its listener on the live peer host
     PARAMS = {
         "variant": Param(str, default="tcp_cm", choices=TCP_VARIANTS, help="send path under test"),
         "packet_size": Param(int, default=1000, help="payload bytes per send call"),

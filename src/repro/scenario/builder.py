@@ -37,7 +37,20 @@ from .applications import Application, get_application
 from .spec import ScenarioSpec, SpecError, default_addr
 from .telemetry import ScenarioTelemetry
 
-__all__ = ["Scenario", "build"]
+__all__ = ["Scenario", "build", "workload_rng_seed"]
+
+
+def workload_rng_seed(run_seed: int, seed_offset: Optional[int], index: int) -> int:
+    """RNG seed for the ``index``-th declared workload generator.
+
+    Decorrelated across workloads by declaration order (or the explicit
+    ``seed_offset``), fully determined by the run seed.  ``index`` is the
+    generator's position in ``spec.workloads`` — a *global* quantity — so the
+    sharded engine derives the exact same stream no matter which shard ends
+    up hosting the generator (pinned by a test).
+    """
+    offset = seed_offset if seed_offset else index + 1
+    return run_seed * 1_000_003 + 7919 * offset
 
 _CONTROLLER_FACTORIES: Dict[str, Callable[[int], CongestionController]] = {
     "aimd_window": lambda mtu: AimdWindowController(mtu),
@@ -230,11 +243,9 @@ def build(spec: ScenarioSpec, seed: Optional[int] = None,
 
         for index, workload_spec in enumerate(spec.workloads):
             workload_cls = get_workload(workload_spec.kind)
-            # Each generator draws from its own RNG stream: decorrelated
-            # across workloads by declaration order (or the explicit
-            # seed_offset), fully determined by the run seed.
-            offset = workload_spec.seed_offset if workload_spec.seed_offset else index + 1
-            rng = random.Random(run_seed * 1_000_003 + 7919 * offset)
+            # Each generator draws from its own RNG stream (see
+            # workload_rng_seed for the shard-invariance contract).
+            rng = random.Random(workload_rng_seed(run_seed, workload_spec.seed_offset, index))
             try:
                 workload = workload_cls(
                     scenario, workload_spec, workload_spec.normalized_params(), rng)

@@ -105,7 +105,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if args.trace:
                 trace_path = args.trace if len(seeds) == 1 else _per_seed_path(args.trace, seed)
             try:
-                result = run(spec, seed=seed, trace_path=trace_path)
+                result = run(spec, seed=seed, trace_path=trace_path, shards=args.shards)
             except SpecError as exc:
                 # Some constraints (e.g. an app that needs a CM on its host)
                 # are only checkable while wiring the scenario.  A single-seed
@@ -224,6 +224,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--store", default=None, metavar="DB",
                             help="ingest per-seed results (and --trace files) into this "
                                  "sqlite result store")
+    run_parser.add_argument("--shards", type=int, default=None, metavar="N",
+                            help="run graph scenarios on N shard worker processes "
+                                 "(byte-identical to the single-process result; "
+                                 "overrides the spec's engine.shards)")
     run_parser.add_argument("--quiet", action="store_true", help="suppress the text summary")
     run_parser.set_defaults(func=_cmd_run)
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from .builder import Scenario, build
-from .spec import ScenarioSpec
+from .spec import ScenarioSpec, SpecError
 
 __all__ = [
     "ScenarioResult",
@@ -114,8 +114,16 @@ class ScenarioResult:
 
 
 def spec_digest(spec: ScenarioSpec) -> str:
-    """sha256 over the spec's canonical JSON (ties results to their spec)."""
-    canonical = json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+    """sha256 over the spec's canonical JSON (ties results to their spec).
+
+    The ``engine`` block is stripped first: it selects an execution strategy
+    (process sharding), not simulation semantics, and the sharded runner's
+    byte-determinism contract requires ``shards=N`` results to compare
+    ``cmp``-equal — digest included — with the single-process run.
+    """
+    payload = spec.to_dict()
+    payload.pop("engine", None)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
@@ -322,7 +330,8 @@ def run_built(scenario: Scenario, *, control_hook=None, progress_cb=None,
 def run_streaming(spec: ScenarioSpec, seed: Optional[int] = None, *,
                   trace_path: Optional[str] = None,
                   control_hook=None, progress_cb=None,
-                  control_interval: float = DEFAULT_CONTROL_INTERVAL) -> ScenarioResult:
+                  control_interval: float = DEFAULT_CONTROL_INTERVAL,
+                  shards: Optional[int] = None) -> ScenarioResult:
     """Compile and execute ``spec`` with optional live-control hooks.
 
     This is the one code path both the batch CLI (:func:`run`, no hooks) and
@@ -331,7 +340,25 @@ def run_streaming(spec: ScenarioSpec, seed: Optional[int] = None, *,
     loop (see :func:`run_built`); a run whose hooks only read state produces
     a byte-identical result to the hook-free run of the same ``(spec,
     seed)``.
+
+    ``shards`` overrides the spec's ``engine.shards`` (``None`` defers to
+    it); any effective value above 1 dispatches to the sharded parallel
+    engine, whose result is byte-identical to the single-process run of the
+    same ``(spec, seed)`` — see docs/parallel_engine.md.  Mid-run control
+    hooks are a single-process feature: combining one with sharding raises.
     """
+    effective = shards if shards is not None else (
+        spec.engine.shards if spec.engine is not None else 1)
+    if effective > 1:
+        if control_hook is not None:
+            raise SpecError(
+                "engine.shards",
+                "mid-run control hooks (the service mailbox) are not "
+                "supported on sharded runs")
+        from ..netsim.parallel import run_sharded
+
+        return run_sharded(spec, seed, shards=effective,
+                           trace_path=trace_path, progress_cb=progress_cb)
     return run_built(
         build(spec, seed=seed, trace_path=trace_path),
         control_hook=control_hook,
@@ -341,11 +368,14 @@ def run_streaming(spec: ScenarioSpec, seed: Optional[int] = None, *,
 
 
 def run(spec: ScenarioSpec, seed: Optional[int] = None,
-        trace_path: Optional[str] = None) -> ScenarioResult:
+        trace_path: Optional[str] = None,
+        shards: Optional[int] = None) -> ScenarioResult:
     """Compile and execute ``spec``; deterministic per ``(spec, seed)``.
 
     ``trace_path`` streams every telemetry event and periodic sample to a
     JSON-lines file (byte-identical per ``(spec, seed)``) without touching
-    the result payload of specs that carry no telemetry block.
+    the result payload of specs that carry no telemetry block.  ``shards``
+    (or the spec's own ``engine: {shards: N}``) selects the sharded engine;
+    either way the result bytes are those of the single-process run.
     """
-    return run_streaming(spec, seed, trace_path=trace_path)
+    return run_streaming(spec, seed, trace_path=trace_path, shards=shards)

@@ -43,6 +43,7 @@ __all__ = [
     "WorkloadSpec",
     "StopSpec",
     "TelemetrySpec",
+    "EngineSpec",
     "ScenarioSpec",
     "CM_CONTROLLERS",
     "CM_SCHEDULERS",
@@ -776,6 +777,32 @@ class TelemetrySpec:
         return payload
 
 
+@dataclass
+class EngineSpec:
+    """How the simulation executes — never *what* it simulates.
+
+    ``shards`` > 1 partitions a graph scenario across that many worker
+    processes (conservative-lookahead sync along cut links; see
+    ``docs/parallel_engine.md``).  Because the engine block only selects an
+    execution strategy, it is excluded from the result ``spec_digest``: the
+    same scenario at any shard count digests — and must byte-compare —
+    identically.
+    """
+
+    shards: int = 1
+
+    def validate(self, path: str) -> None:
+        _require(isinstance(self.shards, int) and not isinstance(self.shards, bool)
+                 and self.shards >= 1,
+                 f"{path}.shards", f"must be an integer >= 1, got {self.shards!r}")
+
+    def _key(self) -> tuple:
+        return (_kv(self.shards),)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
 #: Sealed (frozen) class variants, created lazily per spec class by
 #: :meth:`ScenarioSpec.seal`.
 _SEALED_VARIANTS: Dict[type, type] = {}
@@ -818,6 +845,7 @@ class ScenarioSpec:
     workloads: List[WorkloadSpec] = field(default_factory=list)
     stop: StopSpec = field(default_factory=StopSpec)
     telemetry: Optional[TelemetrySpec] = None
+    engine: Optional[EngineSpec] = None
     metrics: Tuple[str, ...] = ("apps",)
     seed: int = 0
 
@@ -849,6 +877,7 @@ class ScenarioSpec:
         dumbbell = self.dumbbell
         graph = self.graph
         telemetry = self.telemetry
+        engine = self.engine
         return (self.name, self.description,
                 tuple(host._key() for host in self.hosts),
                 tuple(link._key() for link in self.links),
@@ -858,6 +887,7 @@ class ScenarioSpec:
                 tuple(workload._key() for workload in self.workloads),
                 self.stop._key(),
                 telemetry._key() if telemetry is not None else None,
+                engine._key() if engine is not None else None,
                 self.metrics, _kv(self.seed))
 
     def validate(self) -> "ScenarioSpec":
@@ -935,6 +965,12 @@ class ScenarioSpec:
         self.stop.validate("stop")
         if self.telemetry is not None:
             self.telemetry.validate("telemetry")
+        if self.engine is not None:
+            self.engine.validate("engine")
+            if self.engine.shards > 1:
+                _require(self.graph is not None, "engine.shards",
+                         "sharded execution needs a graph topology "
+                         "(hosts/links and dumbbell scenarios run single-process)")
         for metric in self.metrics:
             _require(metric in METRIC_GROUPS, "metrics",
                      f"unknown metric group {metric!r}; choose from {', '.join(METRIC_GROUPS)}")
@@ -967,6 +1003,8 @@ class ScenarioSpec:
             children.extend([*self.graph.nodes, *self.graph.links, self.graph])
         if self.telemetry is not None:
             children.append(self.telemetry)
+        if self.engine is not None:
+            children.append(self.engine)
         for child in children:
             child.__class__ = _sealed_variant(child.__class__)
         self.__class__ = _sealed_variant(ScenarioSpec)
@@ -976,9 +1014,10 @@ class ScenarioSpec:
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON rendering; ``from_dict(to_dict(spec))`` == ``spec``.
 
-        The ``telemetry``, ``graph`` and ``workloads`` keys are only present
-        when the corresponding block is configured, so specs without them
-        render (and digest) exactly as they did before the blocks existed.
+        The ``telemetry``, ``graph``, ``workloads`` and ``engine`` keys are
+        only present when the corresponding block is configured, so specs
+        without them render (and digest) exactly as they did before the
+        blocks existed.
         """
         payload = {
             "name": self.name,
@@ -997,6 +1036,8 @@ class ScenarioSpec:
             payload["workloads"] = [workload.to_dict() for workload in self.workloads]
         if self.telemetry is not None:
             payload["telemetry"] = self.telemetry.to_dict()
+        if self.engine is not None:
+            payload["engine"] = self.engine.to_dict()
         return payload
 
     @classmethod
@@ -1025,6 +1066,9 @@ class ScenarioSpec:
         telemetry_data = payload.pop("telemetry", None)
         telemetry = (_from_mapping(TelemetrySpec, telemetry_data, "telemetry")
                      if telemetry_data is not None else None)
+        engine_data = payload.pop("engine", None)
+        engine = (_from_mapping(EngineSpec, engine_data, "engine")
+                  if engine_data is not None else None)
         metrics_data = payload.pop("metrics", ("apps",))
         if not isinstance(metrics_data, (list, tuple)):
             # tuple("apps") would silently explode a string into characters.
@@ -1043,6 +1087,7 @@ class ScenarioSpec:
             workloads=workloads,
             stop=stop,
             telemetry=telemetry,
+            engine=engine,
             metrics=metrics,
             seed=payload.pop("seed", 0),
         )

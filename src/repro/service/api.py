@@ -237,7 +237,11 @@ class ServiceApi:
                 raise ApiError(400, "'seed' must be an integer")
             seeds = [seed]
         trace = bool(payload.get("trace", False))
-        jobs = [self.manager.submit(spec, seed=seed, trace=trace) for seed in seeds]
+        shards = payload.get("shards")
+        if shards is not None and (not isinstance(shards, int) or shards < 1):
+            raise ApiError(400, "'shards' must be a positive integer")
+        jobs = [self.manager.submit(spec, seed=seed, trace=trace, shards=shards)
+                for seed in seeds]
         body: Dict[str, Any] = {"jobs": [job.status() for job in jobs]}
         if len(jobs) == 1:
             body["job"] = body["jobs"][0]

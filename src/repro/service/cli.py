@@ -67,6 +67,8 @@ def _load_spec_arg(ref: str) -> dict:
 def _cmd_submit(args: argparse.Namespace) -> int:
     client = _client(args)
     kwargs = {"trace": args.trace}
+    if args.shards is not None:
+        kwargs["shards"] = args.shards
     if args.seeds is not None:
         kwargs["seeds"] = list(range(1, args.seeds + 1))
     elif args.seed is not None:
@@ -201,6 +203,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="submit seeds 1..N as separate jobs")
     submit.add_argument("--trace", action="store_true",
                         help="record a telemetry trace (enables the telemetry stream)")
+    submit.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="run graph scenarios on N shard worker processes "
+                             "(byte-identical result; disables the mid-run mailbox)")
     submit.add_argument("--wait", action="store_true", help="block until the job(s) finish")
     submit.add_argument("--timeout", type=float, default=300.0, metavar="S")
     submit.set_defaults(func=_cmd_submit)

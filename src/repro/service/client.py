@@ -77,7 +77,7 @@ class ServiceClient:
 
     def submit(self, preset: Optional[str] = None, spec: Optional[Dict[str, Any]] = None,
                seed: Optional[int] = None, seeds: Optional[List[int]] = None,
-               trace: bool = False) -> Dict[str, Any]:
+               trace: bool = False, shards: Optional[int] = None) -> Dict[str, Any]:
         """Submit one job (or one per seed); returns the submission body."""
         body: Dict[str, Any] = {}
         if preset is not None:
@@ -90,6 +90,8 @@ class ServiceClient:
             body["seed"] = seed
         if trace:
             body["trace"] = True
+        if shards is not None:
+            body["shards"] = shards
         return self.request("POST", "/v1/jobs", body)
 
     def jobs(self) -> List[Dict[str, Any]]:

@@ -92,10 +92,15 @@ class Job:
     """One scenario submission and its lifecycle bookkeeping."""
 
     def __init__(self, job_id: int, spec: ScenarioSpec, seed: int,
-                 trace_path: Optional[str] = None):
+                 trace_path: Optional[str] = None,
+                 shards: Optional[int] = None):
         self.id = job_id
         self.spec = spec
         self.seed = seed
+        #: Shard worker-process count when the sharded engine runs this job
+        #: (``None`` for the single-process engine).  Sharded jobs have no
+        #: control tick, hence no mailbox — see :meth:`request`.
+        self.shards = shards
         self.name = spec.name
         self.spec_digest = spec_digest(spec)
         self.trace_path = trace_path
@@ -107,7 +112,10 @@ class Job:
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         # Progress snapshot, published by the worker's progress callback and
-        # read (not locked — scalar reads are atomic) by HTTP threads.
+        # read (not locked — scalar reads are atomic) by HTTP threads.  On a
+        # sharded job the callback fires at each lookahead barrier with the
+        # barrier time — i.e. the *minimum* sim-time across the shard
+        # workers, the only honest global clock a conservative run has.
         self.sim_time = 0.0
         self.stop_time = spec.stop.until
         self._cancel = threading.Event()
@@ -137,6 +145,10 @@ class Job:
         exception ``fn`` raised, and raises :class:`TimeoutError` if no tick
         serves the request within ``timeout`` wall seconds.
         """
+        if self.shards:
+            raise JobNotLive(
+                f"job {self.id} runs on the sharded engine (shards={self.shards}); "
+                "mid-run inspection and mutation need the single-process engine")
         if self.state != JobState.RUNNING:
             raise JobNotLive(f"job {self.id} is {self.state}, not running")
         req = _MailboxRequest(fn)
@@ -197,6 +209,7 @@ class Job:
                 "fraction": (sim_time / stop_time) if stop_time > 0 else 0.0,
             },
             "trace": self.trace_path is not None,
+            "shards": self.shards,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -333,9 +346,30 @@ class JobManager:
 
     # ------------------------------------------------------------ submission
     def submit(self, spec: ScenarioSpec, seed: Optional[int] = None,
-               trace: bool = False) -> Job:
-        """Validate and enqueue one job; returns its :class:`Job` record."""
+               trace: bool = False, shards: Optional[int] = None) -> Job:
+        """Validate and enqueue one job; returns its :class:`Job` record.
+
+        ``shards`` (or the spec's own ``engine: {shards: N}``) routes the
+        job to the sharded engine — result bytes are identical to the
+        single-process run, but the job has no mailbox (no mid-run
+        inspection or mutation).  Incompatible submissions are rejected
+        here, not at run time, so the caller gets a 400 rather than a
+        failed job.
+        """
         spec.validate()
+        effective = shards if shards is not None else (
+            spec.engine.shards if spec.engine is not None else 1)
+        if effective > 1:
+            if spec.graph is None:
+                raise SpecError(
+                    "engine.shards",
+                    "sharded execution needs a graph topology "
+                    "(hosts/links and dumbbell scenarios run single-process)")
+            if spec.telemetry is not None:
+                raise SpecError(
+                    "engine.shards",
+                    "in-result telemetry blocks are not supported on sharded "
+                    "runs (per-shard --trace files are)")
         run_seed = spec.seed if seed is None else int(seed)
         with self._lock:
             if self._shutdown:
@@ -345,7 +379,8 @@ class JobManager:
         trace_path = None
         if trace:
             trace_path = os.path.join(self.trace_dir(), f"job{job_id}.jsonl")
-        job = Job(job_id, spec, run_seed, trace_path=trace_path)
+        job = Job(job_id, spec, run_seed, trace_path=trace_path,
+                  shards=effective if effective > 1 else None)
         with self._queue_cv:
             self._jobs[job_id] = job
             self._queue.append(job)
@@ -498,15 +533,28 @@ class JobManager:
         def progress_cb(sim_now: float, horizon: float) -> None:
             job.sim_time = sim_now
             job.stop_time = horizon
+            if job.shards and job.cancel_requested:
+                # No control tick on sharded runs; the barrier callback is
+                # the cancellation point instead (≤ one lookahead window of
+                # extra work per shard).
+                raise JobCancelled(f"job {job.id} cancelled at t={sim_now:.3f}")
 
         try:
-            result = run_streaming(
-                job.spec, job.seed,
-                trace_path=job.trace_path,
-                control_hook=control_hook,
-                progress_cb=progress_cb,
-                control_interval=self.control_interval,
-            )
+            if job.shards:
+                result = run_streaming(
+                    job.spec, job.seed,
+                    trace_path=job.trace_path,
+                    progress_cb=progress_cb,
+                    shards=job.shards,
+                )
+            else:
+                result = run_streaming(
+                    job.spec, job.seed,
+                    trace_path=job.trace_path,
+                    control_hook=control_hook,
+                    progress_cb=progress_cb,
+                    control_interval=self.control_interval,
+                )
         except JobCancelled:
             job.state = JobState.CANCELLED
             job.error = f"cancelled at sim t={job.sim_time:.3f}s"

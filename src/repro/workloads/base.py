@@ -64,6 +64,10 @@ class Workload:
     needs_peer: ClassVar[bool] = True
     #: Whether the generator's host must have a Congestion Manager.
     needs_cm: ClassVar[bool] = False
+    #: Whether the generator spawns apps *on* the live peer object (rather
+    #: than only passing ``peer.addr`` along).  The sharded engine keeps such
+    #: host/peer pairs in the same shard.
+    colocate_peer: ClassVar[bool] = False
 
     def __init__(self, scenario, spec: WorkloadSpec, params: Dict[str, Any],
                  rng: random.Random):

@@ -46,6 +46,7 @@ class TcpFlowChurn(Workload):
 
     name = "tcp_flows"
     description = "Poisson/Weibull arrivals of heavy-tailed TCP transfers to the peer"
+    colocate_peer = True  # spawns a tcp_listener on the live peer per arrival
     PARAMS = {
         **_ARRIVAL_PARAMS,
         "variant": Param(str, default="cm", choices=("cm", "reno"),

@@ -602,10 +602,10 @@ class TestScenarioCliReportAndContinue:
         spec_path.write_text(json.dumps(spec.to_dict()))
         real_run = scenario_cli.run
 
-        def flaky_run(spec, seed=None, trace_path=None):
+        def flaky_run(spec, seed=None, trace_path=None, shards=None):
             if seed == 2:
                 raise SpecError("apps[flow]", "synthetic failure for seed 2")
-            return real_run(spec, seed=seed, trace_path=trace_path)
+            return real_run(spec, seed=seed, trace_path=trace_path, shards=shards)
 
         monkeypatch.setattr(scenario_cli, "run", flaky_run)
         json_dir = tmp_path / "out"
