@@ -128,6 +128,13 @@ class Link:
         #: two per-hop closure/argument allocations from the hot path.
         self._tx_packet: Optional[Packet] = None
         self._in_flight: Deque[Packet] = deque()
+        #: Latest delivery timestamp handed out so far.  ``delay`` may be
+        #: lowered mid-run (the service's ``PATCH .../links``); clamping
+        #: each new delivery to this floor keeps the propagation pipeline
+        #: strictly FIFO — packets on a wire cannot overtake — so the
+        #: argument-free ``_deliver`` events stay correct.  With a constant
+        #: delay the clamp never engages.
+        self._last_deliver_ts = 0.0
         self._finish_cb = self._finish_transmission
         self._deliver_cb = self._deliver
         self._receiver: Optional[Callable[[Packet], None]] = None
@@ -187,7 +194,12 @@ class Link:
         # Overflow is checked before ECN marking: a packet the full queue is
         # about to drop must not be marked (or counted in ``ecn_marked``) —
         # marking is what happens *instead of* dropping, never as well as.
-        if self.queue_limit is not None and self.queue_length >= self.queue_limit:
+        # The in-transmission packet does not count against ``queue_limit``
+        # (see the class docstring), so an idle link accepts even at
+        # ``queue_limit=0``: the ``_busy`` test keeps the limit a bound on
+        # *waiting* packets only.
+        if (self.queue_limit is not None and self._busy
+                and self.queue_length >= self.queue_limit):
             self.stats.dropped_overflow += 1
             self._notify_drop(packet, "overflow")
             if packet._pool_state == 1:
@@ -228,11 +240,18 @@ class Link:
         sim._push(sim._now + tx_time, self._finish_cb, ())
 
     def _finish_transmission(self) -> None:
-        # Propagation happens in parallel with the next serialisation; the
-        # constant delay makes the in-flight pipeline strictly FIFO.
+        # Propagation happens in parallel with the next serialisation.  A
+        # delay change applies only to packets entering propagation from now
+        # on, and a *lowered* delay must not let a later packet overtake an
+        # earlier one already on the wire: clamp each delivery time to the
+        # latest one scheduled so far, keeping the pipeline strictly FIFO.
         self._in_flight.append(self._tx_packet)
         sim = self.sim
-        sim._push(sim._now + self.delay, self._deliver_cb, ())
+        deliver_ts = sim._now + self.delay
+        if deliver_ts < self._last_deliver_ts:
+            deliver_ts = self._last_deliver_ts
+        self._last_deliver_ts = deliver_ts
+        sim._push(deliver_ts, self._deliver_cb, ())
         self._start_next()
 
     def _deliver(self) -> None:

@@ -47,6 +47,11 @@ class BoundaryLink(Link):
         sim = self.sim
         packet = self._tx_packet
         deliver_ts = sim._now + self.delay
+        # Same no-overtake clamp as Link._finish_transmission: a lowered
+        # delay applies only to packets entering propagation afterwards.
+        if deliver_ts < self._last_deliver_ts:
+            deliver_ts = self._last_deliver_ts
+        self._last_deliver_ts = deliver_ts
         # Count delivery here (the destination shard never sees this Link
         # object); finalize() backs out emissions still in flight at the end
         # of the run, restoring delivered-at-or-before-horizon semantics.

@@ -206,6 +206,62 @@ class TestLink:
         packet = make_packet(972)  # 1000 total bytes
         assert link.transmission_time(packet) == pytest.approx(0.008)
 
+    def test_queue_limit_zero_idle_link_accepts(self):
+        # Regression: queue_limit bounds *waiting* packets only — the packet
+        # being serialised does not count — so an idle link with
+        # queue_limit=0 must accept a packet and start transmitting it
+        # immediately.  A second packet offered while the first serialises
+        # finds a zero-capacity queue and is dropped.
+        sim = Simulator()
+        link, received = self.make_link(sim, queue_limit=0)
+        first = make_packet(972)  # 1 ms serialisation at 8 Mbps
+        assert link.send(first)
+        assert not link.send(make_packet(972))  # busy, queue full at 0
+        assert link.stats.dropped_overflow == 1
+        sim.run()
+        assert received == [first]
+        assert sim.now == pytest.approx(0.011, abs=1e-6)
+        # Idle again: the next packet is accepted too.
+        assert link.send(make_packet(972))
+        sim.run()
+        assert len(received) == 2
+
+    def test_lowering_delay_mid_flight_keeps_fifo(self):
+        # Regression for the mid-run delay-reschedule hazard: the service
+        # can lower ``delay`` while packets are propagating.  The change
+        # must only apply to packets entering propagation afterwards — and
+        # even then a later packet must not overtake (and be swapped with)
+        # one already on the wire.
+        sim = Simulator()
+        link, received = self.make_link(sim, rate_bps=8e6, delay=0.01,
+                                        queue_limit=10)
+        p1 = make_packet(972)  # 1 ms serialisation each
+        p2 = make_packet(972)
+        link.send(p1)
+        link.send(p2)
+        arrivals = []
+        orig_receiver = link._receiver
+        link.attach(lambda packet: (arrivals.append((sim.now, packet)),
+                                    orig_receiver(packet))[-1])
+        # p1 enters propagation at 1 ms (due 11 ms); lower delay at 1.5 ms,
+        # while p1 is on the wire and p2 is still serialising.
+        def patch():
+            link.delay = 0.001
+        sim.schedule(0.0015, patch)
+        sim.run()
+        # Order preserved: p1 first, at its original 11 ms arrival.  p2
+        # finished serialising at 2 ms; its nominal 3 ms arrival would
+        # overtake p1, so it is clamped to p1's delivery time.
+        assert [p for _, p in arrivals] == [p1, p2]
+        assert arrivals[0][0] == pytest.approx(0.011, abs=1e-6)
+        assert arrivals[1][0] == pytest.approx(0.011, abs=1e-6)
+        # A packet sent once the wire is clear gets the new, lower delay.
+        p3 = make_packet(972)
+        link.send(p3)
+        sim.run()
+        assert arrivals[-1][1] is p3
+        assert arrivals[-1][0] == pytest.approx(0.011 + 0.002, abs=1e-6)
+
 
 class TestTrace:
     def test_packet_trace_filters_by_kind(self):
