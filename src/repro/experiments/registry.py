@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from . import (
     ablations,
     aggressiveness,
+    burstloss,
     figure3,
     figure4,
     figure5,
@@ -32,6 +33,7 @@ from . import (
     figure8,
     figure9,
     figure10,
+    hostile,
     scale,
     table1,
     timeseries,
@@ -198,6 +200,28 @@ register(
         run=scale.run,
         supports_seeds=True,
         smoke={"host_counts": (2, 4), "duration": 6.0},
+    )
+)
+register(
+    ExperimentSpec(
+        name="hostile",
+        trials=hostile.trials,
+        trial=hostile.run_trial,
+        reduce=hostile.reduce,
+        run=hostile.run,
+        supports_seeds=True,
+        smoke={"blast_fractions": (0.0, 0.5), "duration": 8.0},
+    )
+)
+register(
+    ExperimentSpec(
+        name="burstloss",
+        trials=burstloss.trials,
+        trial=burstloss.run_trial,
+        reduce=burstloss.reduce,
+        run=burstloss.run,
+        supports_seeds=True,
+        smoke={"burst_lengths": (0, 4), "duration": 10.0},
     )
 )
 register(

@@ -8,7 +8,8 @@ for the substitution rationale.
 from .channel import Channel, Dumbbell, build_dumbbell
 from .engine import Event, SimulationError, Simulator, Timer
 from .graph import GraphNet, build_graph, shortest_path_next_hops
-from .link import Link, LinkStats
+from .link import (GilbertElliottLoss, Link, LinkStats, RedQueue, make_aqm,
+                   make_loss_model)
 from .node import Host, Router
 from .packet import (
     DEFAULT_MSS,
@@ -33,8 +34,12 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Timer",
+    "GilbertElliottLoss",
     "Link",
     "LinkStats",
+    "RedQueue",
+    "make_aqm",
+    "make_loss_model",
     "Host",
     "Router",
     "Packet",

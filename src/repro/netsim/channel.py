@@ -45,6 +45,8 @@ class Channel:
         reverse_loss_rate: Optional[float] = None,
         ecn_threshold: Optional[int] = None,
         seed: int = 0,
+        loss_model=None,
+        aqm=None,
         install_default_route: bool = False,
     ):
         self.sim = sim
@@ -52,6 +54,9 @@ class Channel:
         self.host_b = host_b
         if reverse_loss_rate is None:
             reverse_loss_rate = loss_rate
+        # ``loss_model``/``aqm`` are passed as config mappings; each Link
+        # normalizes its own fresh instance, so the two directions never
+        # share burst-fade or queue-average state.
         self.forward = Link(
             sim,
             rate_bps=rate_bps,
@@ -60,6 +65,8 @@ class Channel:
             loss_rate=loss_rate,
             ecn_threshold=ecn_threshold,
             seed=seed,
+            loss_model=loss_model,
+            aqm=aqm,
             name=f"{host_a.name}->{host_b.name}",
         )
         self.reverse = Link(
@@ -70,6 +77,8 @@ class Channel:
             loss_rate=reverse_loss_rate,
             ecn_threshold=ecn_threshold,
             seed=seed + 1,
+            loss_model=loss_model,
+            aqm=aqm,
             name=f"{host_b.name}->{host_a.name}",
         )
         # Links hand packets straight to the IP input routine; the
@@ -100,7 +109,15 @@ class Channel:
             self.reverse.loss_rate = loss_rate
 
     def set_rate(self, rate_bps: float, reverse: bool = True) -> None:
-        """Change the channel bandwidth mid-experiment (used by Figures 8/9)."""
+        """Change the channel bandwidth mid-experiment (used by Figures 8/9).
+
+        Symmetric by default, deliberately: a Channel models one Dummynet
+        pipe, and reconfiguring a pipe rescales both directions.
+        ``LinkSpec.rate_schedule`` inherits this — each step rescales the
+        reverse (ACK) path along with the forward path, and the pinned
+        goldens encode that behaviour.  Pass ``reverse=False`` to scope a
+        change to the forward direction only.
+        """
         self.forward.rate_bps = float(rate_bps)
         if reverse:
             self.reverse.rate_bps = float(rate_bps)

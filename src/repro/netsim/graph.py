@@ -32,7 +32,7 @@ from .ingress import IngressSequencer
 from .link import Link
 from .node import Host, Router
 
-__all__ = ["GraphNet", "shortest_path_next_hops", "build_graph"]
+__all__ = ["GraphNet", "shortest_path_next_hops", "build_graph", "install_routes"]
 
 
 def shortest_path_next_hops(
@@ -96,10 +96,56 @@ class GraphNet:
     #: :mod:`repro.netsim.ingress`).  Links deliver through these, not
     #: straight into ``node.ip.receive``.
     ingress: Dict[str, IngressSequencer] = field(default_factory=dict)
+    #: The directed delay-weighted edge set routing was computed from —
+    #: kept so mid-run reroutes can recompute the tables incrementally.
+    edges: Dict[Tuple[str, str], float] = field(default_factory=dict)
 
     def link(self, a: str, b: str) -> Link:
         """The directed link from node ``a`` to node ``b``."""
         return self.links[(a, b)]
+
+    def apply_reroute(self, a: str, b: str, delay: float) -> None:
+        """Change the cost of the ``a <-> b`` link mid-run and re-route.
+
+        Sets both directions' propagation delay to ``delay``, recomputes the
+        shortest-path tables over the updated edge set and reinstalls every
+        node's routes (``add_route`` overwrites by destination address, so
+        stale next-hops are simply replaced).  Packets already propagating
+        keep their old arrival times — the link's no-overtake clamp ensures
+        a shortened wire never reorders them.
+        """
+        delay = float(delay)
+        for pair in ((a, b), (b, a)):
+            self.edges[pair] = delay
+            link = self.links.get(pair)
+            if link is not None:
+                link.delay = delay
+        self.next_hops = shortest_path_next_hops(self.edges)
+        host_addrs = {name: host.addr for name, host in self.hosts.items()}
+        install_routes(self.nodes, host_addrs, self.links, self.next_hops)
+
+
+def install_routes(
+    nodes: Mapping[str, Host],
+    host_addrs: Mapping[str, str],
+    links: Mapping[Tuple[str, str], Link],
+    next_hops: Mapping[str, Mapping[str, str]],
+) -> None:
+    """(Re)install address-keyed routes from name-level next-hop tables.
+
+    Only end systems are packet destinations, so router names absent from
+    ``host_addrs`` are skipped.  ``links`` may be a partial view (a shard
+    holds only its local nodes' outgoing links); a missing link means the
+    route belongs to another process and is skipped.
+    """
+    for name, node in nodes.items():
+        for dst_name, via in next_hops.get(name, {}).items():
+            addr = host_addrs.get(dst_name)
+            if addr is None:
+                continue
+            link = links.get((name, via))
+            if link is not None:
+                node.add_route(addr, link)
 
 
 def build_graph(
@@ -119,8 +165,10 @@ def build_graph(
     links:
         Mappings with keys ``a``, ``b``, ``rate_bps``, ``delay`` and the
         optional :class:`~repro.netsim.link.Link` knobs ``queue_limit``,
-        ``loss_rate``, ``reverse_loss_rate``, ``ecn_threshold`` and
-        ``seed_offset``.  Each entry creates one link per direction.
+        ``loss_rate``, ``reverse_loss_rate``, ``ecn_threshold``,
+        ``seed_offset``, ``loss`` (burst-loss model config) and ``aqm``
+        (queue-management config).  Each entry creates one link per
+        direction.
     seed:
         Base seed for the links' random-loss RNGs.  Link *i* draws from
         ``seed + (seed_offset or 2*i)`` forward and ``+1`` reverse — the
@@ -169,6 +217,8 @@ def build_graph(
         loss = float(spec.get("loss_rate", 0.0))
         reverse_loss = spec.get("reverse_loss_rate")
         offset = spec.get("seed_offset", 0) or 2 * index
+        # Mapping-valued loss/aqm configs are normalized per Link, so each
+        # direction always owns a fresh (stateful) model instance.
         forward = Link(
             sim,
             rate_bps=spec["rate_bps"],
@@ -177,6 +227,8 @@ def build_graph(
             loss_rate=loss,
             ecn_threshold=spec.get("ecn_threshold"),
             seed=seed + offset,
+            loss_model=spec.get("loss"),
+            aqm=spec.get("aqm"),
             name=f"{a}->{b}",
         )
         reverse = Link(
@@ -187,6 +239,8 @@ def build_graph(
             loss_rate=loss if reverse_loss is None else float(reverse_loss),
             ecn_threshold=spec.get("ecn_threshold"),
             seed=seed + offset + 1,
+            loss_model=spec.get("loss"),
+            aqm=spec.get("aqm"),
             name=f"{b}->{a}",
         )
         forward.attach(net.ingress[b].port(2 * index))
@@ -196,13 +250,8 @@ def build_graph(
         edges[(a, b)] = delay
         edges[(b, a)] = delay
 
+    net.edges = edges
     net.next_hops = shortest_path_next_hops(edges)
-    for name, node in net_nodes.items():
-        hops = net.next_hops.get(name, {})
-        for dst_name, via in hops.items():
-            if dst_name not in net_hosts:
-                # Only end systems are packet destinations; router addresses
-                # never appear in a packet header.
-                continue
-            node.add_route(net_nodes[dst_name].addr, net.links[(name, via)])
+    host_addrs = {name: host.addr for name, host in net_hosts.items()}
+    install_routes(net_nodes, host_addrs, net.links, net.next_hops)
     return net

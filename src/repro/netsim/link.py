@@ -17,13 +17,21 @@ from __future__ import annotations
 
 import random
 from collections import deque
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Optional
 
 from .engine import Simulator
 from .packet import Packet
 
-__all__ = ["Link", "LinkStats"]
+__all__ = [
+    "GilbertElliottLoss",
+    "Link",
+    "LinkStats",
+    "RedQueue",
+    "make_aqm",
+    "make_loss_model",
+]
 
 
 @dataclass
@@ -63,6 +71,134 @@ class LinkStats:
         return self.queue_delay_total / self.dequeued_packets
 
 
+class GilbertElliottLoss:
+    """Two-state Markov (Gilbert–Elliott) burst-loss model.
+
+    The channel alternates between a *good* and a *bad* state; each arriving
+    packet first advances the state (transition probabilities
+    ``p_good_bad`` / ``p_bad_good``), then is dropped with the loss
+    probability of the state it landed in.  With ``loss_good=0`` and
+    ``loss_bad=1`` this is the classic on/off wireless fade: mean burst
+    length ``1/p_bad_good`` packets, long-run loss rate
+    ``p_good_bad / (p_good_bad + p_bad_good)``.
+
+    The model is stateful per direction and draws from the owning link's
+    private generator, so a given seed reproduces the same fade pattern.
+    """
+
+    kind = "gilbert_elliott"
+
+    def __init__(self, p_good_bad: float, p_bad_good: float,
+                 loss_good: float = 0.0, loss_bad: float = 1.0):
+        if not 0.0 < p_good_bad <= 1.0:
+            raise ValueError("p_good_bad must be in (0, 1]")
+        if not 0.0 < p_bad_good <= 1.0:
+            raise ValueError("p_bad_good must be in (0, 1]")
+        if not 0.0 <= loss_good < 1.0:
+            raise ValueError("loss_good must be in [0, 1)")
+        if not 0.0 <= loss_bad <= 1.0:
+            raise ValueError("loss_bad must be in [0, 1]")
+        self.p_good_bad = float(p_good_bad)
+        self.p_bad_good = float(p_bad_good)
+        self.loss_good = float(loss_good)
+        self.loss_bad = float(loss_bad)
+        self._bad = False
+
+    def should_drop(self, rng: random.Random) -> bool:
+        """Advance the channel state for one arrival and decide its fate."""
+        if self._bad:
+            if rng.random() < self.p_bad_good:
+                self._bad = False
+        elif rng.random() < self.p_good_bad:
+            self._bad = True
+        loss = self.loss_bad if self._bad else self.loss_good
+        return loss > 0.0 and rng.random() < loss
+
+
+class RedQueue:
+    """Random Early Detection with the classic mark-or-drop gate.
+
+    Keeps an EWMA (``w_q``) of the instantaneous queue occupancy.  Below
+    ``min_th`` every packet is accepted; between the thresholds packets are
+    marked-or-dropped with probability ramping to ``max_p`` (using the
+    count-based correction from Floyd & Jacobson so gaps between marks are
+    roughly uniform); at or above ``max_th`` every packet is gated.  A gated
+    packet is ECN-marked when it is ECN-capable and dropped otherwise —
+    exactly the router behaviour the CM's ECN path is designed for.
+
+    While the link sits idle the average decays as if ``m`` small packets
+    (``mean_packet_bytes`` each) had drained during the idle period.
+    """
+
+    kind = "red"
+
+    def __init__(self, min_th: int, max_th: int, max_p: float = 0.1,
+                 w_q: float = 0.002, mean_packet_bytes: int = 1000):
+        if min_th < 1:
+            raise ValueError("min_th must be >= 1")
+        if max_th <= min_th:
+            raise ValueError("max_th must be > min_th")
+        if not 0.0 < max_p <= 1.0:
+            raise ValueError("max_p must be in (0, 1]")
+        if not 0.0 < w_q <= 1.0:
+            raise ValueError("w_q must be in (0, 1]")
+        if mean_packet_bytes < 1:
+            raise ValueError("mean_packet_bytes must be >= 1")
+        self.min_th = int(min_th)
+        self.max_th = int(max_th)
+        self.max_p = float(max_p)
+        self.w_q = float(w_q)
+        self.mean_packet_bytes = int(mean_packet_bytes)
+        self.avg = 0.0
+        self._count = -1
+        self._last_arrival = 0.0
+
+    def should_gate(self, rng: random.Random, occupancy: int, now: float,
+                    rate_bps: float) -> bool:
+        """Update the average for one arrival; ``True`` means mark-or-drop."""
+        if occupancy == 0:
+            # Idle decay: shrink the average as if one mean-sized packet
+            # had drained per transmission slot since the last arrival.
+            slot = self.mean_packet_bytes * 8.0 / rate_bps
+            if slot > 0.0 and self.avg > 0.0:
+                self.avg *= (1.0 - self.w_q) ** ((now - self._last_arrival) / slot)
+        else:
+            self.avg += self.w_q * (occupancy - self.avg)
+        self._last_arrival = now
+        avg = self.avg
+        if avg < self.min_th:
+            self._count = -1
+            return False
+        if avg >= self.max_th:
+            self._count = 0
+            return True
+        self._count += 1
+        p_b = self.max_p * (avg - self.min_th) / (self.max_th - self.min_th)
+        denom = 1.0 - self._count * p_b
+        if denom <= 0.0 or rng.random() < p_b / denom:
+            self._count = 0
+            return True
+        return False
+
+
+def make_loss_model(config: Mapping) -> GilbertElliottLoss:
+    """Build a loss model from a validated spec-style ``{"kind": ...}`` block."""
+    params = dict(config)
+    kind = params.pop("kind", None)
+    if kind != "gilbert_elliott":
+        raise ValueError(f"unknown loss model kind: {kind!r}")
+    return GilbertElliottLoss(**params)
+
+
+def make_aqm(config: Mapping) -> RedQueue:
+    """Build an AQM from a validated spec-style ``{"kind": ...}`` block."""
+    params = dict(config)
+    kind = params.pop("kind", None)
+    if kind != "red":
+        raise ValueError(f"unknown aqm kind: {kind!r}")
+    return RedQueue(**params)
+
+
 class Link:
     """A unidirectional, rate-limited, store-and-forward link.
 
@@ -88,6 +224,16 @@ class Link:
     seed:
         Seed for the private random generator used for loss decisions, so a
         given experiment is reproducible.
+    loss_model:
+        Optional stateful burst-loss model — a :class:`GilbertElliottLoss`
+        instance or its ``{"kind": "gilbert_elliott", ...}`` config mapping
+        (a fresh instance is built per link, so directions never share
+        fade state).  Applied after the Bernoulli ``loss_rate`` draw.
+    aqm:
+        Optional active queue management — a :class:`RedQueue` instance or
+        its ``{"kind": "red", ...}`` config mapping.  A gated packet is
+        ECN-marked when capable, dropped otherwise; mutually exclusive
+        with ``ecn_threshold`` at the spec layer.
     name:
         Optional label used in traces and ``repr``.
     """
@@ -101,6 +247,8 @@ class Link:
         loss_rate: float = 0.0,
         ecn_threshold: Optional[int] = None,
         seed: int = 0,
+        loss_model=None,
+        aqm=None,
         name: str = "link",
     ):
         if rate_bps <= 0:
@@ -115,6 +263,12 @@ class Link:
         self.queue_limit = queue_limit
         self.loss_rate = float(loss_rate)
         self.ecn_threshold = ecn_threshold
+        if isinstance(loss_model, Mapping):
+            loss_model = make_loss_model(loss_model)
+        if isinstance(aqm, Mapping):
+            aqm = make_aqm(aqm)
+        self.loss_model = loss_model
+        self.aqm = aqm
         self.name = name
         self.stats = LinkStats()
         self._rng = random.Random(seed)
@@ -191,6 +345,13 @@ class Link:
                 self.sim.packet_pool.release(packet)
             return False
 
+        if self.loss_model is not None and self.loss_model.should_drop(self._rng):
+            self.stats.dropped_random += 1
+            self._notify_drop(packet, "burst")
+            if packet._pool_state == 1:
+                self.sim.packet_pool.release(packet)
+            return False
+
         # Overflow is checked before ECN marking: a packet the full queue is
         # about to drop must not be marked (or counted in ``ecn_marked``) —
         # marking is what happens *instead of* dropping, never as well as.
@@ -206,7 +367,20 @@ class Link:
                 self.sim.packet_pool.release(packet)
             return False
 
-        if self.ecn_threshold is not None and packet.ecn_capable and self.queue_length >= self.ecn_threshold:
+        if self.aqm is not None:
+            occupancy = len(self._queue) + (1 if self._busy else 0)
+            if self.aqm.should_gate(self._rng, occupancy, self.sim.now,
+                                    self.rate_bps):
+                if packet.ecn_capable:
+                    packet.ecn_marked = True
+                    self.stats.ecn_marked += 1
+                else:
+                    self.stats.dropped_random += 1
+                    self._notify_drop(packet, "red")
+                    if packet._pool_state == 1:
+                        self.sim.packet_pool.release(packet)
+                    return False
+        elif self.ecn_threshold is not None and packet.ecn_capable and self.queue_length >= self.ecn_threshold:
             packet.ecn_marked = True
             self.stats.ecn_marked += 1
 

@@ -134,13 +134,28 @@ def partition_graph(spec, shards: int) -> Partition:
     if shards == 1:
         return Partition(1, {name: 0 for name in names})
 
+    # A scheduled reroute can lower a link's delay mid-run, and the
+    # conservative window must stay safe across the whole run — so both the
+    # clustering weights and the lookahead use each pair's *minimum* delay
+    # over its lifetime (declared value and every reroute that targets it).
+    effective_delay: Dict[Tuple[str, str], float] = {}
+    for link in graph.links:
+        pair = (link.a, link.b) if link.a < link.b else (link.b, link.a)
+        effective_delay[pair] = link.delay
+    for reroute in graph.reroutes:
+        pair = (reroute.a, reroute.b) if reroute.a < reroute.b else (reroute.b, reroute.a)
+        effective_delay[pair] = min(effective_delay[pair], reroute.delay)
+
+    def pair_delay(a: str, b: str) -> float:
+        return effective_delay[(a, b) if a < b else (b, a)]
+
     uf = UnionFind(n)
     for host, peer in _affinity_pairs(spec):
         uf.union(index_of[host], index_of[peer])
     capacity = math.ceil(n / shards)
     for link in sorted(
         graph.links,
-        key=lambda l: (l.delay, min(l.a, l.b), max(l.a, l.b)),
+        key=lambda l: (pair_delay(l.a, l.b), min(l.a, l.b), max(l.a, l.b)),
     ):
         ra, rb = uf.find(index_of[link.a]), uf.find(index_of[link.b])
         if ra != rb and uf.size[ra] + uf.size[rb] <= capacity:
@@ -165,15 +180,17 @@ def partition_graph(spec, shards: int) -> Partition:
     lookahead: Optional[float] = None
     for link in graph.links:
         if shard_of[link.a] != shard_of[link.b]:
-            if link.delay <= 0.0:
+            delay = pair_delay(link.a, link.b)
+            if delay <= 0.0:
                 raise SpecError(
                     "engine.shards",
-                    f"cut link {link.a!r}–{link.b!r} has zero one-way delay: "
-                    "conservative sync needs delay > 0 on every cross-shard "
-                    "link (colocate the endpoints or give the link a delay)",
+                    f"cut link {link.a!r}–{link.b!r} has zero one-way delay "
+                    "(declared or after a scheduled reroute): conservative "
+                    "sync needs delay > 0 on every cross-shard link "
+                    "(colocate the endpoints or give the link a delay)",
                 )
             cut_pairs.add((link.a, link.b) if link.a < link.b else (link.b, link.a))
-            lookahead = link.delay if lookahead is None else min(lookahead, link.delay)
+            lookahead = delay if lookahead is None else min(lookahead, delay)
     if not cut_pairs:
         # Affinity/capacity left everything reachable inside one shard's
         # components only in theory; with >= 2 shards there is always a cut,

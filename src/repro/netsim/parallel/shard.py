@@ -162,6 +162,10 @@ def build_shard(
                 loss_rate=loss_rate,
                 ecn_threshold=link_spec.ecn_threshold,
                 seed=run_seed + offset + direction,
+                # Config mappings, normalized per Link: each direction owns
+                # a fresh stateful model, exactly as in build_graph.
+                loss_model=link_spec.loss,
+                aqm=link_spec.aqm,
                 name=f"{a}->{b}",
             )
             if local_dst:
@@ -198,6 +202,36 @@ def build_shard(
     for node in graph_spec.nodes:
         if node.cm and shard_of[node.name] == shard_index:
             _attach_cm(net_nodes[node.name], node)
+
+    # --- scheduled reroutes: every shard replays the same global sequence --
+    # Routing is a pure function of the global edge set, so each shard keeps
+    # its own copy of the full (delay-weighted) edges, applies every change
+    # to it and reinstalls routes for its local nodes only.  Scheduled here
+    # — after CM attach, before apps — matching the single-process build's
+    # event ordering.  The partitioner already bounded the lookahead by the
+    # post-reroute minimum cut delay, so a shortened cut link stays safe.
+    if graph_spec.reroutes:
+        from ..graph import install_routes, shortest_path_next_hops
+
+        edges: Dict[Tuple[str, str], float] = {}
+        for link_spec in graph_spec.links:
+            edges[(link_spec.a, link_spec.b)] = link_spec.delay
+            edges[(link_spec.b, link_spec.a)] = link_spec.delay
+
+        def apply_reroute(a: str, b: str, delay: float) -> None:
+            delay = float(delay)
+            for pair in ((a, b), (b, a)):
+                edges[pair] = delay
+                link = net_links.get(pair)
+                if link is not None:
+                    link.delay = delay
+            tables = shortest_path_next_hops(edges)
+            scenario.graph_net.next_hops = tables
+            install_routes(net_nodes, addr_of, net_links, tables)
+
+        for reroute in graph_spec.reroutes:
+            sim.schedule(reroute.time, apply_reroute,
+                         reroute.a, reroute.b, reroute.delay)
 
     # --- apps / workloads on local hosts, global indices throughout --------
     from ...scenario.applications import get_application

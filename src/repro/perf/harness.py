@@ -547,6 +547,130 @@ def bench_workload_churn(duration: float, repeats: int) -> BenchResult:
 
 
 # ====================================================================== #
+# Link realism: RED gate and Gilbert-Elliott loss on the packet path     #
+# ====================================================================== #
+def _red_queue_workload(n: int, aqm) -> float:
+    """Offer ``n`` packets through one Link at 2x its drain rate.
+
+    The overload keeps the queue occupancy inside the RED threshold band
+    for most of the run, so the timed region exercises the EWMA update and
+    the mark-or-drop gate on (nearly) every arrival rather than the
+    below-``min_th`` fast accept.
+    """
+    from ..netsim.link import Link
+    from ..netsim.packet import PROTO_UDP, Packet
+
+    sim = Simulator()
+    link = Link(sim, rate_bps=8e6, delay=0.001, queue_limit=1000, seed=7,
+                aqm=aqm)
+    link.attach(_noop)
+    offered = [0]
+    gap = 0.0005  # 1000-byte packets drain in 1 ms: 2x overload
+
+    def offer() -> None:
+        if offered[0] < n:
+            offered[0] += 1
+            link.send(Packet(src="a", dst="b", sport=1, dport=2,
+                             protocol=PROTO_UDP, payload_bytes=1000))
+            sim.schedule(gap, offer)
+
+    offer()
+    start = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - start
+
+
+def bench_red_queue(n: int, repeats: int) -> BenchResult:
+    """Per-arrival cost of the RED gate versus plain drop-tail.
+
+    Same link, same 2x-overload arrival pattern; the only difference is the
+    ``aqm`` block, so ``speedup`` reads as the *overhead factor* of the
+    EWMA + gate logic per packet (>1 = RED costs that much over drop-tail).
+    """
+    # Drop-tail is the timed side, RED the "baseline", so speedup follows
+    # the telemetry_overhead convention: RED wall over drop-tail wall.
+    wall, base = _best_of_pair(
+        lambda: _red_queue_workload(n, None),
+        lambda: _red_queue_workload(
+            n, {"kind": "red", "min_th": 5, "max_th": 50, "max_p": 0.1}),
+        repeats,
+    )
+    return BenchResult(
+        name="red_queue",
+        ops=n,
+        wall_s=wall,
+        baseline_wall_s=base,
+        notes=(
+            "RED (EWMA + count-corrected gate) vs drop-tail on a 2x-overloaded "
+            "link; ops = packets offered, speedup = overhead factor of the gate"
+        ),
+    )
+
+
+def bench_gilbert_elliott_churn(duration: float, repeats: int) -> BenchResult:
+    """End-to-end cost of the stateful burst-loss model under flow churn.
+
+    A ``tcp_flows`` generator churns TCP/CM transfers across a hop whose
+    losses come from the two-state Markov model; the baseline is the same
+    scenario with Bernoulli loss at the model's long-run rate.  The per-
+    arrival state advance rides the same private-RNG draw path as Bernoulli
+    loss, so ``speedup`` (GE over Bernoulli) should sit near 1.0 — the row
+    exists to catch a regression that makes correlated loss expensive.
+    """
+    from ..scenario.runner import run as run_scenario
+    from ..scenario.spec import HostSpec, LinkSpec, ScenarioSpec, StopSpec, WorkloadSpec
+
+    def spec_for(loss_kwargs: dict) -> ScenarioSpec:
+        return ScenarioSpec(
+            name="bench_ge_churn",
+            hosts=[HostSpec(name="src", cm=True), HostSpec(name="dst")],
+            links=[LinkSpec(a="src", b="dst", rate_bps=20e6, delay=0.003,
+                            queue_limit=100, **loss_kwargs)],
+            workloads=[WorkloadSpec(
+                kind="tcp_flows", host="src", peer="dst", label="churn",
+                params={"rate": 20.0, "min_bytes": 4_000, "pareto_alpha": 2.0,
+                        "max_bytes": 40_000, "max_active": 32},
+            )],
+            stop=StopSpec(until=duration),
+            metrics=("links",),
+            seed=5,
+        )
+
+    # 2% long-run loss either way: p_gb/(p_gb+p_bg) = 0.01/0.5 with the
+    # 0/1 state loss defaults.
+    ge_spec = spec_for({"loss": {"kind": "gilbert_elliott",
+                                 "p_good_bad": 0.0102, "p_bad_good": 0.5}})
+    bernoulli_spec = spec_for({"loss_rate": 0.02})
+    packets = [0]
+
+    def run_spec(spec: ScenarioSpec) -> float:
+        start = time.perf_counter()
+        result = run_scenario(spec, seed=5)
+        elapsed = time.perf_counter() - start
+        hop = result.links[0]
+        packets[0] = (hop["delivered_packets"] + hop["dropped_random"]
+                      + hop["dropped_overflow"])
+        return elapsed
+
+    wall, base = _best_of_pair(
+        lambda: run_spec(bernoulli_spec),
+        lambda: run_spec(ge_spec),
+        repeats,
+    )
+    return BenchResult(
+        name="gilbert_elliott_churn",
+        ops=packets[0],
+        wall_s=wall,
+        baseline_wall_s=base,
+        notes=(
+            f"tcp_flows churn across a 2% GE burst-lossy hop for {duration:.0f}s "
+            "simulated vs Bernoulli at the same long-run rate; ops = packets "
+            "through the lossy hop, speedup = overhead factor of the Markov state"
+        ),
+    )
+
+
+# ====================================================================== #
 # Telemetry overhead: probes-off vs probes-on on one scenario            #
 # ====================================================================== #
 def bench_telemetry_overhead(duration: float, repeats: int) -> BenchResult:
@@ -926,11 +1050,12 @@ def bench_service_submit(jobs: int, repeats: int) -> BenchResult:
 #: parallel_transfer_bytes, scenario_builds, telemetry_duration,
 #: graph_builds, churn_duration, store_reports, packet_pool_n,
 #: packet_churn_bytes, service_jobs, shard_hosts_per_cluster,
-#: shard_flows_per_cluster, shard_transfer_bytes, shard_horizon, repeats)
+#: shard_flows_per_cluster, shard_transfer_bytes, shard_horizon,
+#: red_queue_n, ge_churn_duration, repeats)
 _FULL = (200_000, 200_000, 64, 256, 500_000, 8, 200_000, 2_000, 10.0, 300, 5.0, 200,
-         500_000, 5_000_000, 8, 512, 8, 400_000, 3.0, 5)
+         500_000, 5_000_000, 8, 512, 8, 400_000, 3.0, 20_000, 5.0, 5)
 _QUICK = (30_000, 30_000, 32, 64, 100_000, 4, 60_000, 400, 4.0, 60, 2.0, 40,
-          100_000, 1_000_000, 4, 64, 4, 150_000, 2.0, 3)
+          100_000, 1_000_000, 4, 64, 4, 150_000, 2.0, 4_000, 2.0, 3)
 
 
 def run_benchmarks(quick: bool = False, label: Optional[str] = None) -> dict:
@@ -949,7 +1074,7 @@ def run_benchmarks(quick: bool = False, label: Optional[str] = None) -> dict:
     (churn_n, timer_n, grant_flows, grant_reqs, fig3_bytes, par_seeds, par_bytes,
      scenario_builds, telemetry_duration, graph_builds, churn_duration, store_reports,
      packet_pool_n, packet_churn_bytes, service_jobs, shard_hosts, shard_flows,
-     shard_bytes, shard_horizon, repeats) = sizes
+     shard_bytes, shard_horizon, red_queue_n, ge_duration, repeats) = sizes
     pool_jobs = max(2, min(4, os.cpu_count() or 1))
     results = [
         bench_event_churn(churn_n, repeats),
@@ -961,6 +1086,8 @@ def run_benchmarks(quick: bool = False, label: Optional[str] = None) -> dict:
         bench_scenario_build(scenario_builds, repeats),
         bench_graph_build(graph_builds, repeats),
         bench_workload_churn(churn_duration, repeats),
+        bench_red_queue(red_queue_n, repeats),
+        bench_gilbert_elliott_churn(ge_duration, repeats),
         bench_telemetry_overhead(telemetry_duration, repeats),
         bench_result_store(store_reports, repeats),
         bench_service_submit(service_jobs, min(repeats, 2)),

@@ -41,6 +41,7 @@ from .spec import (
     GraphSpec,
     HostSpec,
     LinkSpec,
+    RerouteSpec,
     ScenarioSpec,
     SpecError,
     StopSpec,
@@ -56,6 +57,7 @@ __all__ = [
     "DumbbellSpec",
     "GraphNodeSpec",
     "GraphLinkSpec",
+    "RerouteSpec",
     "GraphSpec",
     "AppSpec",
     "WorkloadSpec",

@@ -138,6 +138,8 @@ def _build_graph_topology(scenario: Scenario, spec: ScenarioSpec, run_seed: int)
             "reverse_loss_rate": link.reverse_loss_rate,
             "ecn_threshold": link.ecn_threshold,
             "seed_offset": link.seed_offset,
+            "loss": link.loss,
+            "aqm": link.aqm,
         }
         for link in graph_spec.links
     ]
@@ -150,6 +152,12 @@ def _build_graph_topology(scenario: Scenario, spec: ScenarioSpec, run_seed: int)
     for node in graph_spec.nodes:
         if node.cm:
             _attach_cm(net.hosts[node.name], node)
+    # Reroute events are scheduled at build time (not by the runner) so the
+    # event sequence numbering is identical in the single-process and
+    # sharded engines, which schedule them from the same declaration order.
+    for reroute in graph_spec.reroutes:
+        scenario.sim.schedule(reroute.time, net.apply_reroute,
+                              reroute.a, reroute.b, reroute.delay)
 
 
 def build(spec: ScenarioSpec, seed: Optional[int] = None,
@@ -216,6 +224,8 @@ def build(spec: ScenarioSpec, seed: Optional[int] = None,
                 reverse_loss_rate=link.reverse_loss_rate,
                 ecn_threshold=link.ecn_threshold,
                 seed=run_seed + offset,
+                loss_model=link.loss,
+                aqm=link.aqm,
             )
         for host_spec in spec.hosts:
             if host_spec.cm:

@@ -40,6 +40,24 @@ hand-wired testbeds never could:
     A multi-bottleneck mesh with an unused alternate path: three staggered
     TCP/CM transfers plus flow churn share one macroflow end-to-end while
     cross-traffic churns both bottleneck segments.
+``gilbert_wireless_bulk``
+    A bulk TCP/CM transfer plus flow churn crossing a wireless-style hop
+    whose losses come in Gilbert–Elliott fade bursts rather than
+    independent Bernoulli drops.
+``red_gateway_sharing``
+    Two ECN-capable TCP/CM flows and one non-ECN Reno flow behind a RED
+    gateway: the same congestion signal arrives as marks for the former
+    and early drops for the latter.
+``flash_crowd_star``
+    The star web topology under a flash crowd: session arrivals surge to
+    ten times the baseline rate around t = 5 s and drain away again.
+``cm_vs_udp_blast``
+    Two persistent TCP/CM transfers sharing a bottleneck with an
+    unresponsive constant-bit-rate UDP blast that no CM can regulate.
+``mobile_handoff_reroute``
+    A mobile host walking out of Wi-Fi range mid-run: scheduled reroute
+    events repoint shortest-path routing at a slower cellular path and
+    back again.
 """
 
 from __future__ import annotations
@@ -54,6 +72,7 @@ from .spec import (
     GraphSpec,
     HostSpec,
     LinkSpec,
+    RerouteSpec,
     ScenarioSpec,
     StopSpec,
     TelemetrySpec,
@@ -385,6 +404,260 @@ def mesh_macroflow_sharing() -> ScenarioSpec:
     )
 
 
+def gilbert_wireless_bulk() -> ScenarioSpec:
+    """Bulk TCP/CM + churn across a burst-lossy (Gilbert–Elliott) hop."""
+    return ScenarioSpec(
+        name="gilbert_wireless_bulk",
+        description=(
+            "A 2 Mbps wireless-style hop whose losses arrive in Gilbert-Elliott "
+            "fade bursts (mean burst 4 packets, ~7% average loss): a bulk TCP/CM "
+            "transfer plus Poisson flow churn ride through the fades, exercising "
+            "the CM's loss response under correlated rather than independent drops."
+        ),
+        graph=GraphSpec(
+            nodes=[
+                GraphNodeSpec(name="src", cm=True),
+                GraphNodeSpec(name="r0", kind="router"),
+                GraphNodeSpec(name="r1", kind="router"),
+                GraphNodeSpec(name="dst"),
+            ],
+            links=[
+                GraphLinkSpec(a="src", b="r0", rate_bps=30e6, delay=0.001,
+                              queue_limit=100),
+                GraphLinkSpec(a="r0", b="r1", rate_bps=2e6, delay=0.015,
+                              queue_limit=25,
+                              loss={"kind": "gilbert_elliott",
+                                    "p_good_bad": 0.02, "p_bad_good": 0.25}),
+                GraphLinkSpec(a="r1", b="dst", rate_bps=30e6, delay=0.001,
+                              queue_limit=100),
+            ],
+        ),
+        apps=[
+            AppSpec(app="tcp_listener", host="dst", label="listener",
+                    params={"port": 5001}),
+            AppSpec(app="tcp_sender", host="src", peer="dst", label="bulk",
+                    params={"variant": "cm", "port": 5001,
+                            "transfer_bytes": 1_500_000,
+                            "receive_window": 128 * 1024}),
+        ],
+        workloads=[
+            WorkloadSpec(kind="tcp_flows", host="src", peer="dst", label="churn",
+                         params={"rate": 1.0, "min_bytes": 10_000,
+                                 "pareto_alpha": 1.4, "max_bytes": 120_000,
+                                 "max_active": 6}),
+        ],
+        stop=StopSpec(until=10.0),
+        metrics=("apps", "links"),
+        seed=17,
+    )
+
+
+def red_gateway_sharing() -> ScenarioSpec:
+    """ECN-capable CM flows vs. a non-ECN Reno flow behind a RED gateway."""
+    transfer = {"port": 5001, "transfer_bytes": 1_500_000,
+                "receive_window": 128 * 1024}
+    return ScenarioSpec(
+        name="red_gateway_sharing",
+        description=(
+            "Three senders share a 6 Mbps RED gateway (min_th 6, max_th 18): two "
+            "ECN-capable TCP/CM flows receive their congestion signal as marks "
+            "while a non-ECN Reno flow takes early drops — random early detection "
+            "splitting one queue law into two feedback channels."
+        ),
+        graph=GraphSpec(
+            nodes=[
+                GraphNodeSpec(name="e0", cm=True),
+                GraphNodeSpec(name="e1", cm=True),
+                GraphNodeSpec(name="rn"),
+                GraphNodeSpec(name="rg", kind="router"),
+                GraphNodeSpec(name="rr", kind="router"),
+                GraphNodeSpec(name="d"),
+            ],
+            links=[
+                GraphLinkSpec(a="e0", b="rg", rate_bps=40e6, delay=0.001,
+                              queue_limit=100),
+                GraphLinkSpec(a="e1", b="rg", rate_bps=40e6, delay=0.001,
+                              queue_limit=100),
+                GraphLinkSpec(a="rn", b="rg", rate_bps=40e6, delay=0.001,
+                              queue_limit=100),
+                GraphLinkSpec(a="rg", b="rr", rate_bps=6e6, delay=0.012,
+                              queue_limit=60,
+                              aqm={"kind": "red", "min_th": 6, "max_th": 18,
+                                   "max_p": 0.1}),
+                GraphLinkSpec(a="rr", b="d", rate_bps=40e6, delay=0.001,
+                              queue_limit=100),
+            ],
+        ),
+        apps=[
+            AppSpec(app="tcp_listener", host="d", label="listener0",
+                    params={"port": 5001}),
+            AppSpec(app="tcp_listener", host="d", label="listener1",
+                    params={"port": 5002}),
+            AppSpec(app="tcp_listener", host="d", label="listener2",
+                    params={"port": 5003}),
+            AppSpec(app="tcp_sender", host="e0", peer="d", label="ecn_flow0",
+                    params=dict(transfer, variant="cm", ecn=True)),
+            AppSpec(app="tcp_sender", host="e1", peer="d", label="ecn_flow1",
+                    params=dict(transfer, variant="cm", ecn=True, port=5002)),
+            AppSpec(app="tcp_sender", host="rn", peer="d", label="drop_flow",
+                    params=dict(transfer, variant="reno", port=5003)),
+        ],
+        stop=StopSpec(until=12.0, when_apps_done=True),
+        metrics=("apps", "links"),
+        seed=19,
+    )
+
+
+def flash_crowd_star() -> ScenarioSpec:
+    """The star web topology under a flash-crowd arrival surge."""
+    n_clients = 3
+    nodes = [
+        GraphNodeSpec(name="server", cm=True),
+        GraphNodeSpec(name="hub", kind="router"),
+    ] + [GraphNodeSpec(name=f"client{i}") for i in range(n_clients)]
+    links = [GraphLinkSpec(a="server", b="hub", rate_bps=10e6, delay=0.005,
+                           queue_limit=50)] + [
+        GraphLinkSpec(a=f"client{i}", b="hub", rate_bps=30e6, delay=0.002,
+                      queue_limit=100)
+        for i in range(n_clients)
+    ]
+    sessions = {"arrival": "flash_crowd", "rate": 0.4, "flash_peak": 10.0,
+                "flash_at": 5.0, "flash_width": 1.5, "requests_mean": 3.0,
+                "think_mean": 0.3, "min_bytes": 12_288, "pareto_alpha": 1.3,
+                "max_bytes": 131_072}
+    return ScenarioSpec(
+        name="flash_crowd_star",
+        description=(
+            "The star web topology under a flash crowd: three clients' session "
+            "arrivals surge to 10x the baseline rate around t = 5 s (Gaussian "
+            "surge, thinned non-homogeneous Poisson) and drain away — the CM "
+            "server's macroflows absorb the spike instead of each new connection "
+            "probing from scratch."
+        ),
+        graph=GraphSpec(nodes=nodes, links=links),
+        apps=[
+            AppSpec(app="web_server", host="server", label="server",
+                    params={"port": 80, "variant": "cm"}),
+        ],
+        workloads=[
+            WorkloadSpec(kind="web_sessions", host=f"client{i}", peer="server",
+                         label=f"client{i}_sessions", params=dict(sessions))
+            for i in range(n_clients)
+        ],
+        stop=StopSpec(until=10.0),
+        metrics=("apps", "links", "hosts"),
+        seed=23,
+    )
+
+
+def cm_vs_udp_blast() -> ScenarioSpec:
+    """Persistent TCP/CM flows sharing a bottleneck with a hostile UDP blast."""
+    apps: List[AppSpec] = []
+    for index in range(2):
+        port = 5001 + index
+        apps.append(AppSpec(app="tcp_listener", host="cli",
+                            label=f"listener{index}", params={"port": port}))
+        apps.append(AppSpec(
+            app="tcp_sender", host="srv", peer="cli", label=f"cm_flow{index}",
+            params={"variant": "cm", "port": port, "transfer_bytes": 10 ** 9,
+                    "receive_window": 256 * 1024},
+        ))
+    return ScenarioSpec(
+        name="cm_vs_udp_blast",
+        description=(
+            "Two persistent TCP/CM transfers share an 8 Mbps bottleneck with an "
+            "unresponsive 4 Mbps UDP blast that starts at t = 2 s from an "
+            "unconnected socket (so no CM can regulate it); the CM flows must "
+            "concede the hostile stream's share yet stay fair among themselves."
+        ),
+        graph=GraphSpec(
+            nodes=[
+                GraphNodeSpec(name="srv", cm=True),
+                GraphNodeSpec(name="hog"),
+                GraphNodeSpec(name="r0", kind="router"),
+                GraphNodeSpec(name="r1", kind="router"),
+                GraphNodeSpec(name="cli"),
+                GraphNodeSpec(name="hogsink"),
+            ],
+            links=[
+                GraphLinkSpec(a="srv", b="r0", rate_bps=40e6, delay=0.001,
+                              queue_limit=100),
+                GraphLinkSpec(a="hog", b="r0", rate_bps=40e6, delay=0.001,
+                              queue_limit=100),
+                GraphLinkSpec(a="r0", b="r1", rate_bps=8e6, delay=0.010,
+                              queue_limit=40),
+                GraphLinkSpec(a="cli", b="r1", rate_bps=40e6, delay=0.001,
+                              queue_limit=100),
+                GraphLinkSpec(a="hogsink", b="r1", rate_bps=40e6, delay=0.001,
+                              queue_limit=100),
+            ],
+        ),
+        apps=apps,
+        workloads=[
+            WorkloadSpec(kind="udp_blast", host="hog", peer="hogsink",
+                         label="blast", start=2.0,
+                         params={"rate_bps": 4e6, "packet_bytes": 1_000,
+                                 "port": 9900}),
+        ],
+        stop=StopSpec(until=12.0),
+        metrics=("apps", "links"),
+        seed=27,
+    )
+
+
+def mobile_handoff_reroute() -> ScenarioSpec:
+    """A mobile host handing off from Wi-Fi to cellular and back mid-run."""
+    return ScenarioSpec(
+        name="mobile_handoff_reroute",
+        description=(
+            "A mobile CM host reaches a server over Wi-Fi (8 Mbps / 2 ms) with a "
+            "cellular fallback (3 Mbps / 20 ms); at t = 4.7 s the Wi-Fi hop's "
+            "delay jumps to 90 ms (walking out of range) and shortest-path "
+            "routing hands the macroflow off to cellular, then back at t = 8.3 s "
+            "— congestion state surviving a mid-run path change."
+        ),
+        graph=GraphSpec(
+            nodes=[
+                GraphNodeSpec(name="mob", cm=True),
+                GraphNodeSpec(name="ap", kind="router"),
+                GraphNodeSpec(name="bs", kind="router"),
+                GraphNodeSpec(name="srv"),
+            ],
+            links=[
+                GraphLinkSpec(a="mob", b="ap", rate_bps=8e6, delay=0.002,
+                              queue_limit=50),
+                GraphLinkSpec(a="ap", b="srv", rate_bps=20e6, delay=0.005,
+                              queue_limit=100),
+                GraphLinkSpec(a="mob", b="bs", rate_bps=3e6, delay=0.020,
+                              queue_limit=50),
+                GraphLinkSpec(a="bs", b="srv", rate_bps=20e6, delay=0.010,
+                              queue_limit=100),
+            ],
+            reroutes=[
+                RerouteSpec(time=4.7, a="mob", b="ap", delay=0.090),
+                RerouteSpec(time=8.3, a="mob", b="ap", delay=0.002),
+            ],
+        ),
+        apps=[
+            AppSpec(app="tcp_listener", host="srv", label="listener",
+                    params={"port": 5001}),
+            AppSpec(app="tcp_sender", host="mob", peer="srv", label="bulk",
+                    params={"variant": "cm", "port": 5001,
+                            "transfer_bytes": 10 ** 9,
+                            "receive_window": 256 * 1024}),
+        ],
+        workloads=[
+            WorkloadSpec(kind="tcp_flows", host="mob", peer="srv", label="churn",
+                         params={"rate": 0.8, "min_bytes": 8_000,
+                                 "pareto_alpha": 1.5, "max_bytes": 80_000,
+                                 "max_active": 4, "port_base": 21_000}),
+        ],
+        stop=StopSpec(until=12.0),
+        metrics=("apps", "links"),
+        seed=31,
+    )
+
+
 def libcm_poll_streaming() -> ScenarioSpec:
     """Layered streaming with the application polling libcm from a timer loop."""
     return _libcm_streaming("poll")
@@ -405,6 +678,11 @@ PRESETS: Dict[str, Callable[[], ScenarioSpec]] = {
     "parking_lot_mix": parking_lot_mix,
     "star_web_churn": star_web_churn,
     "mesh_macroflow_sharing": mesh_macroflow_sharing,
+    "gilbert_wireless_bulk": gilbert_wireless_bulk,
+    "red_gateway_sharing": red_gateway_sharing,
+    "flash_crowd_star": flash_crowd_star,
+    "cm_vs_udp_blast": cm_vs_udp_blast,
+    "mobile_handoff_reroute": mobile_handoff_reroute,
 }
 
 

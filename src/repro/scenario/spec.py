@@ -38,6 +38,7 @@ __all__ = [
     "DumbbellSpec",
     "GraphNodeSpec",
     "GraphLinkSpec",
+    "RerouteSpec",
     "GraphSpec",
     "AppSpec",
     "WorkloadSpec",
@@ -50,6 +51,8 @@ __all__ = [
     "METRIC_GROUPS",
     "NODE_KINDS",
     "TELEMETRY_EVENT_RECORDERS",
+    "LOSS_MODEL_KINDS",
+    "AQM_KINDS",
 ]
 
 #: Congestion-controller choices for CM-enabled hosts (see ``repro.core.congestion``).
@@ -66,6 +69,14 @@ TELEMETRY_EVENT_RECORDERS: Tuple[str, ...] = ("ring", "reservoir")
 
 #: Node roles a graph topology may declare.
 NODE_KINDS: Tuple[str, ...] = ("host", "router")
+
+#: Burst-loss models a link's ``loss`` block may select (see
+#: :class:`repro.netsim.link.GilbertElliottLoss`).
+LOSS_MODEL_KINDS: Tuple[str, ...] = ("gilbert_elliott",)
+
+#: Active-queue-management kinds a link's ``aqm`` block may select (see
+#: :class:`repro.netsim.link.RedQueue`).
+AQM_KINDS: Tuple[str, ...] = ("red",)
 
 
 class SpecError(ValueError):
@@ -136,6 +147,66 @@ def _check_number(value: Any, path: str, minimum: Optional[float] = None,
         _require(value >= minimum, path, f"must be >= {minimum}, got {value!r}")
     if maximum is not None:
         _require(value <= maximum, path, f"must be <= {maximum}, got {value!r}")
+
+
+def _check_block_keys(block: Mapping[str, Any], allowed: Sequence[str],
+                      required: Sequence[str], path: str) -> None:
+    unknown = sorted(set(block) - set(allowed))
+    _require(not unknown, path,
+             f"unknown key{'s' if len(unknown) > 1 else ''} "
+             f"{', '.join(map(repr, unknown))}; valid keys: {', '.join(allowed)}")
+    for name in required:
+        _require(name in block, f"{path}.{name}", "is required")
+
+
+def _check_loss_block(loss: Any, path: str) -> None:
+    """Validate a ``loss`` mapping (burst-loss model selection) on a link."""
+    _require(isinstance(loss, Mapping), path,
+             f"expected a mapping with a 'kind' key, got {loss!r}")
+    kind = loss.get("kind")
+    _require(kind in LOSS_MODEL_KINDS, f"{path}.kind",
+             f"unknown loss model {kind!r}; choose from {', '.join(LOSS_MODEL_KINDS)}")
+    _check_block_keys(loss, ("kind", "p_good_bad", "p_bad_good", "loss_good", "loss_bad"),
+                      ("p_good_bad", "p_bad_good"), path)
+    for name in ("p_good_bad", "p_bad_good"):
+        _check_number(loss[name], f"{path}.{name}", maximum=1.0)
+        _require(loss[name] > 0.0, f"{path}.{name}", f"must be > 0, got {loss[name]!r}")
+    if "loss_good" in loss:
+        _check_number(loss["loss_good"], f"{path}.loss_good", minimum=0.0)
+        _require(loss["loss_good"] < 1.0, f"{path}.loss_good",
+                 f"must be < 1, got {loss['loss_good']!r}")
+    if "loss_bad" in loss:
+        _check_number(loss["loss_bad"], f"{path}.loss_bad", minimum=0.0, maximum=1.0)
+
+
+def _check_aqm_block(aqm: Any, path: str) -> None:
+    """Validate an ``aqm`` mapping (active queue management) on a link."""
+    _require(isinstance(aqm, Mapping), path,
+             f"expected a mapping with a 'kind' key, got {aqm!r}")
+    kind = aqm.get("kind")
+    _require(kind in AQM_KINDS, f"{path}.kind",
+             f"unknown aqm {kind!r}; choose from {', '.join(AQM_KINDS)}")
+    _check_block_keys(aqm, ("kind", "min_th", "max_th", "max_p", "w_q", "mean_packet_bytes"),
+                      ("min_th", "max_th"), path)
+    _check_number(aqm["min_th"], f"{path}.min_th", minimum=1)
+    _check_number(aqm["max_th"], f"{path}.max_th")
+    _require(aqm["max_th"] > aqm["min_th"], f"{path}.max_th",
+             f"must be > min_th ({aqm['min_th']!r}), got {aqm['max_th']!r}")
+    if "max_p" in aqm:
+        _check_number(aqm["max_p"], f"{path}.max_p", maximum=1.0)
+        _require(aqm["max_p"] > 0.0, f"{path}.max_p", f"must be > 0, got {aqm['max_p']!r}")
+    if "w_q" in aqm:
+        _check_number(aqm["w_q"], f"{path}.w_q", maximum=1.0)
+        _require(aqm["w_q"] > 0.0, f"{path}.w_q", f"must be > 0, got {aqm['w_q']!r}")
+    if "mean_packet_bytes" in aqm:
+        _check_number(aqm["mean_packet_bytes"], f"{path}.mean_packet_bytes", minimum=1)
+
+
+def _block_key(block: Optional[Mapping[str, Any]]) -> Any:
+    """Hashable validation-cache atom for an optional dict-valued spec block."""
+    if block is None:
+        return None
+    return tuple(sorted((name, _kv(value)) for name, value in block.items()))
 
 
 # ---------------------------------------------------------------------- keys
@@ -212,6 +283,15 @@ class LinkSpec:
     ``rate_schedule`` is a sequence of ``(time, rate_bps)`` steps applied by
     the runner while the scenario executes (Figures 8/9-style bandwidth
     changes).
+
+    ``loss`` selects a stateful burst-loss model per direction (currently
+    ``{"kind": "gilbert_elliott", "p_good_bad": ..., "p_bad_good": ...,
+    "loss_good": 0.0, "loss_bad": 1.0}``); it replaces the Bernoulli
+    ``loss_rate``, which must stay 0.  ``aqm`` selects active queue
+    management (currently ``{"kind": "red", "min_th": ..., "max_th": ...,
+    "max_p": 0.1, "w_q": 0.002, "mean_packet_bytes": 1000}``), which
+    ECN-marks capable packets and drops the rest; it replaces the simple
+    ``ecn_threshold``, which must stay unset.
     """
 
     a: str
@@ -224,6 +304,8 @@ class LinkSpec:
     ecn_threshold: Optional[int] = None
     seed_offset: int = 0
     rate_schedule: Tuple[Tuple[float, float], ...] = ()
+    loss: Optional[Dict[str, Any]] = None
+    aqm: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         # Normalize JSON lists into tuples; malformed steps (including
@@ -257,16 +339,35 @@ class LinkSpec:
             _check_number(step[1], f"{step_path}.rate_bps", minimum=1.0)
             _require(step[0] > last, step_path, "step times must be strictly increasing")
             last = step[0]
+        if self.loss is not None:
+            _check_loss_block(self.loss, f"{path}.loss")
+            _require(self.loss_rate == 0.0, f"{path}.loss_rate",
+                     "must stay 0 when a loss model is configured (the model replaces "
+                     "the Bernoulli draw)")
+            _require(self.reverse_loss_rate is None, f"{path}.reverse_loss_rate",
+                     "must stay unset when a loss model is configured (each direction "
+                     "gets its own model instance)")
+        if self.aqm is not None:
+            _check_aqm_block(self.aqm, f"{path}.aqm")
+            _require(self.ecn_threshold is None, f"{path}.ecn_threshold",
+                     "must stay unset when an aqm is configured (the aqm owns marking)")
 
     def _key(self) -> tuple:
         return (self.a, self.b, _kv(self.rate_bps), _kv(self.delay),
                 _kv(self.queue_limit), _kv(self.loss_rate), _kv(self.reverse_loss_rate),
                 _kv(self.ecn_threshold), _kv(self.seed_offset),
-                tuple(tuple(_kv(v) for v in step) for step in self.rate_schedule))
+                tuple(tuple(_kv(v) for v in step) for step in self.rate_schedule),
+                _block_key(self.loss), _block_key(self.aqm))
 
     def to_dict(self) -> Dict[str, Any]:
         payload = dataclasses.asdict(self)
         payload["rate_schedule"] = [list(step) for step in self.rate_schedule]
+        # Absent optional blocks are omitted so pre-existing specs render
+        # (and digest) exactly as before the fields were introduced.
+        if self.loss is None:
+            payload.pop("loss")
+        if self.aqm is None:
+            payload.pop("aqm")
         return payload
 
 
@@ -376,7 +477,9 @@ class GraphLinkSpec:
     Semantics match :class:`LinkSpec` (one :class:`~repro.netsim.link.Link`
     per direction, ``seed_offset`` staggering the loss RNGs, ``loss_rate``
     on the ``a -> b`` direction); there is no ``rate_schedule`` — graph
-    scenarios change conditions through workload churn instead.
+    scenarios change conditions through workload churn instead.  ``loss``
+    and ``aqm`` select the burst-loss model / active queue management per
+    direction exactly as on :class:`LinkSpec`.
     """
 
     a: str
@@ -388,6 +491,8 @@ class GraphLinkSpec:
     reverse_loss_rate: Optional[float] = None
     ecn_threshold: Optional[int] = None
     seed_offset: int = 0
+    loss: Optional[Dict[str, Any]] = None
+    aqm: Optional[Dict[str, Any]] = None
 
     def validate(self, path: str, node_names: Sequence[str]) -> None:
         for end, label in ((self.a, "a"), (self.b, "b")):
@@ -405,11 +510,61 @@ class GraphLinkSpec:
         if self.ecn_threshold is not None:
             _check_number(self.ecn_threshold, f"{path}.ecn_threshold", minimum=1)
         _require(isinstance(self.seed_offset, int), f"{path}.seed_offset", "must be an integer")
+        if self.loss is not None:
+            _check_loss_block(self.loss, f"{path}.loss")
+            _require(self.loss_rate == 0.0, f"{path}.loss_rate",
+                     "must stay 0 when a loss model is configured (the model replaces "
+                     "the Bernoulli draw)")
+            _require(self.reverse_loss_rate is None, f"{path}.reverse_loss_rate",
+                     "must stay unset when a loss model is configured (each direction "
+                     "gets its own model instance)")
+        if self.aqm is not None:
+            _check_aqm_block(self.aqm, f"{path}.aqm")
+            _require(self.ecn_threshold is None, f"{path}.ecn_threshold",
+                     "must stay unset when an aqm is configured (the aqm owns marking)")
 
     def _key(self) -> tuple:
         return (self.a, self.b, _kv(self.rate_bps), _kv(self.delay),
                 _kv(self.queue_limit), _kv(self.loss_rate), _kv(self.reverse_loss_rate),
-                _kv(self.ecn_threshold), _kv(self.seed_offset))
+                _kv(self.ecn_threshold), _kv(self.seed_offset),
+                _block_key(self.loss), _block_key(self.aqm))
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        if self.loss is None:
+            payload.pop("loss")
+        if self.aqm is None:
+            payload.pop("aqm")
+        return payload
+
+
+@dataclass
+class RerouteSpec:
+    """A scheduled mid-run routing change on one graph link.
+
+    At simulated ``time`` the link between ``a`` and ``b`` changes its
+    one-way propagation delay (the routing cost) to ``delay`` in both
+    directions; shortest-path next-hops are then recomputed over the whole
+    graph and reinstalled into every node — the mobility-style handoff: a
+    path that got slower sheds its traffic onto the now-shorter alternative
+    mid-run.  ``a``/``b`` must name a declared link (either orientation).
+    """
+
+    time: float
+    a: str
+    b: str
+    delay: float
+
+    def validate(self, path: str, link_pairs: Sequence[Tuple[str, str]]) -> None:
+        _check_number(self.time, f"{path}.time", minimum=1e-9)
+        _check_number(self.delay, f"{path}.delay", minimum=0.0)
+        pair = (min(self.a, self.b), max(self.a, self.b))
+        _require(pair in link_pairs, path,
+                 f"no declared link between {self.a!r} and {self.b!r}; reroutes "
+                 "change the cost of an existing link, they do not create one")
+
+    def _key(self) -> tuple:
+        return (_kv(self.time), self.a, self.b, _kv(self.delay))
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -430,6 +585,7 @@ class GraphSpec:
 
     nodes: List[GraphNodeSpec] = field(default_factory=list)
     links: List[GraphLinkSpec] = field(default_factory=list)
+    reroutes: List[RerouteSpec] = field(default_factory=list)
 
     def node_names(self) -> List[str]:
         """Every node name (hosts and routers), in declaration order."""
@@ -506,16 +662,32 @@ class GraphSpec:
             _require(not unreachable, f"{path}.links",
                      f"graph is disconnected: no path from {names[0]!r} to "
                      f"{', '.join(map(repr, unreachable))}")
+        link_pairs = tuple(seen_pairs)
+        last_time = 0.0
+        for index, reroute in enumerate(self.reroutes):
+            reroute_path = f"{path}.reroutes[{index}]"
+            _require(isinstance(reroute, RerouteSpec), reroute_path,
+                     f"expected a RerouteSpec, got {type(reroute).__name__}")
+            reroute.validate(reroute_path, link_pairs)
+            _require(reroute.time >= last_time, f"{reroute_path}.time",
+                     "reroute times must be non-decreasing (declaration order is "
+                     "the tie-break for same-instant changes)")
+            last_time = reroute.time
 
     def _key(self) -> tuple:
         return (tuple(node._key() for node in self.nodes),
-                tuple(link._key() for link in self.links))
+                tuple(link._key() for link in self.links),
+                tuple(reroute._key() for reroute in self.reroutes))
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "nodes": [node.to_dict() for node in self.nodes],
             "links": [link.to_dict() for link in self.links],
         }
+        # Omitted when empty so pre-reroute specs render/digest unchanged.
+        if self.reroutes:
+            payload["reroutes"] = [reroute.to_dict() for reroute in self.reroutes]
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any], path: str = "graph") -> "GraphSpec":
@@ -525,7 +697,9 @@ class GraphSpec:
                  for i, item in enumerate(payload.pop("nodes", []) or [])]
         links = [_from_mapping(GraphLinkSpec, item, f"{path}.links[{i}]")
                  for i, item in enumerate(payload.pop("links", []) or [])]
-        return cls(nodes=nodes, links=links)
+        reroutes = [_from_mapping(RerouteSpec, item, f"{path}.reroutes[{i}]")
+                    for i, item in enumerate(payload.pop("reroutes", []) or [])]
+        return cls(nodes=nodes, links=links, reroutes=reroutes)
 
 
 @dataclass
@@ -1000,7 +1174,8 @@ class ScenarioSpec:
         if self.dumbbell is not None:
             children.append(self.dumbbell)
         if self.graph is not None:
-            children.extend([*self.graph.nodes, *self.graph.links, self.graph])
+            children.extend([*self.graph.nodes, *self.graph.links,
+                             *self.graph.reroutes, self.graph])
         if self.telemetry is not None:
             children.append(self.telemetry)
         if self.engine is not None:

@@ -21,6 +21,13 @@ Three generator families ship with the package:
 ``vat_onoff``
     On/off interactive audio: each on-burst attaches a fresh vat instance
     (opening a new CM flow), each off-period detaches it.
+``udp_blast``
+    An unresponsive constant-bit-rate UDP stream from an unconnected
+    socket — hostile background traffic no CM can regulate.
+
+The churn generators' ``arrival`` parameter also accepts the time-varying
+``flash_crowd`` and ``diurnal`` processes (thinned non-homogeneous Poisson)
+alongside ``poisson`` and ``weibull``.
 
 Registering a new generator is one :class:`~repro.workloads.base.Workload`
 subclass plus a :func:`register_workload` decorator — the spec validator,
@@ -28,7 +35,7 @@ builder and CLI ``list`` output all pick it up from here, exactly like the
 application registry.
 """
 
-from .arrivals import bounded_pareto, geometric, make_interarrival
+from .arrivals import ARRIVAL_PROCESSES, bounded_pareto, geometric, make_interarrival
 from .base import (
     WORKLOADS,
     Workload,
@@ -38,7 +45,7 @@ from .base import (
     register_workload,
     validate_workload_params,
 )
-from .generators import TcpFlowChurn, VatOnOffBurst, WebSessionChurn
+from .generators import TcpFlowChurn, UdpBlast, VatOnOffBurst, WebSessionChurn
 
 __all__ = [
     "Workload",
@@ -48,10 +55,12 @@ __all__ = [
     "known_workloads",
     "describe_workloads",
     "validate_workload_params",
+    "ARRIVAL_PROCESSES",
     "make_interarrival",
     "bounded_pareto",
     "geometric",
     "TcpFlowChurn",
     "WebSessionChurn",
     "VatOnOffBurst",
+    "UdpBlast",
 ]

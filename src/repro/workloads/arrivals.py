@@ -12,12 +12,34 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Callable
+from typing import Callable, Optional
 
 __all__ = ["ARRIVAL_PROCESSES", "make_interarrival", "bounded_pareto", "geometric"]
 
 #: Inter-arrival process names a workload's ``arrival`` parameter may pick.
-ARRIVAL_PROCESSES = ("poisson", "weibull")
+#: ``poisson``/``weibull`` are homogeneous; ``flash_crowd`` and ``diurnal``
+#: are non-homogeneous Poisson processes (rate varies with simulated time)
+#: sampled by thinning, so they additionally need a ``clock``.
+ARRIVAL_PROCESSES = ("poisson", "weibull", "flash_crowd", "diurnal")
+
+
+def _thinned(rng: random.Random, clock: Callable[[], float],
+             ceiling: float, rate_fn: Callable[[float], float]) -> Callable[[], float]:
+    """Ogata-style thinning sampler for a non-homogeneous Poisson process.
+
+    Draws candidate arrivals from a homogeneous process at the ``ceiling``
+    rate and accepts each with probability ``rate_fn(t) / ceiling`` — the
+    classic construction, exact for any bounded intensity.  Returns the gap
+    from ``clock()`` now to the next accepted arrival.
+    """
+    def sample() -> float:
+        start = clock()
+        t = start
+        while True:
+            t += rng.expovariate(ceiling)
+            if rng.random() * ceiling <= rate_fn(t):
+                return t - start
+    return sample
 
 
 def make_interarrival(
@@ -25,13 +47,31 @@ def make_interarrival(
     arrival: str,
     rate: float,
     weibull_shape: float = 1.5,
+    clock: Optional[Callable[[], float]] = None,
+    flash_peak: float = 8.0,
+    flash_at: float = 5.0,
+    flash_width: float = 2.0,
+    diurnal_period: float = 20.0,
+    diurnal_depth: float = 0.5,
 ) -> Callable[[], float]:
-    """A zero-argument sampler of inter-arrival gaps with mean ``1/rate``.
+    """A zero-argument sampler of inter-arrival gaps.
 
-    ``"poisson"`` draws exponential gaps (memoryless arrivals);
-    ``"weibull"`` keeps the same mean but shapes the burstiness:
-    ``weibull_shape < 1`` clusters arrivals (heavy-tailed gaps, the
-    flash-crowd pattern), ``> 1`` regularises them.
+    ``"poisson"`` draws exponential gaps with mean ``1/rate`` (memoryless
+    arrivals); ``"weibull"`` keeps the same mean but shapes the burstiness:
+    ``weibull_shape < 1`` clusters arrivals (heavy-tailed gaps), ``> 1``
+    regularises them.
+
+    ``"flash_crowd"`` and ``"diurnal"`` are time-varying: ``rate`` is the
+    baseline intensity and the instantaneous rate follows
+
+    * flash crowd — a Gaussian surge peaking at ``flash_peak`` times the
+      baseline around ``t = flash_at`` with width ``flash_width``;
+    * diurnal — ``rate * (1 + diurnal_depth * sin(2*pi*t/diurnal_period))``,
+      the day/night swell scaled down to simulation horizons.
+
+    Both are sampled by thinning against the known rate ceiling and need
+    ``clock`` (a callable returning the current simulated time, typically
+    ``lambda: sim.now``).
     """
     if rate <= 0:
         raise ValueError(f"arrival rate must be positive, got {rate!r}")
@@ -44,6 +84,31 @@ def make_interarrival(
         # that gives mean 1/rate so "rate" means the same thing either way.
         scale = 1.0 / (rate * math.gamma(1.0 + 1.0 / weibull_shape))
         return lambda: rng.weibullvariate(scale, weibull_shape)
+    if arrival in ("flash_crowd", "diurnal"):
+        if clock is None:
+            raise ValueError(f"arrival process {arrival!r} needs a clock "
+                             "(the rate varies with simulated time)")
+        if arrival == "flash_crowd":
+            if flash_peak < 1.0:
+                raise ValueError(f"flash_peak must be >= 1, got {flash_peak!r}")
+            if flash_width <= 0.0:
+                raise ValueError(f"flash_width must be positive, got {flash_width!r}")
+
+            def flash_rate(t: float) -> float:
+                surge = (t - flash_at) / flash_width
+                return rate * (1.0 + (flash_peak - 1.0) * math.exp(-surge * surge))
+
+            return _thinned(rng, clock, rate * flash_peak, flash_rate)
+        if not 0.0 <= diurnal_depth < 1.0:
+            raise ValueError(f"diurnal_depth must be in [0, 1), got {diurnal_depth!r}")
+        if diurnal_period <= 0.0:
+            raise ValueError(f"diurnal_period must be positive, got {diurnal_period!r}")
+        omega = 2.0 * math.pi / diurnal_period
+
+        def diurnal_rate(t: float) -> float:
+            return rate * (1.0 + diurnal_depth * math.sin(omega * t))
+
+        return _thinned(rng, clock, rate * (1.0 + diurnal_depth), diurnal_rate)
     raise ValueError(
         f"unknown arrival process {arrival!r}; choose from {', '.join(ARRIVAL_PROCESSES)}"
     )

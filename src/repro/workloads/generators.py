@@ -14,22 +14,53 @@ from __future__ import annotations
 from typing import Any, Dict, List
 
 from ..scenario.applications import Param
+from ..transport.udp.socket import UDPSocket
 from .arrivals import ARRIVAL_PROCESSES, bounded_pareto, geometric, make_interarrival
 from .base import Workload, register_workload
 
-__all__ = ["TcpFlowChurn", "WebSessionChurn", "VatOnOffBurst"]
+__all__ = ["TcpFlowChurn", "WebSessionChurn", "VatOnOffBurst", "UdpBlast"]
 
 #: Shared arrival-process parameter declarations.  Every numeric knob
 #: carries a range bound: a value that would hang the reap loop or crash a
 #: distribution mid-run must fail at spec validation, not at arrival time.
+#: (``diurnal_depth``'s ``< 1`` upper bound lives in ``make_interarrival``;
+#: the Param schema only expresses lower bounds.)
 _ARRIVAL_PARAMS = {
     "arrival": Param(str, default="poisson", choices=ARRIVAL_PROCESSES,
                      help="inter-arrival process"),
     "rate": Param(float, default=1.0, minimum=0.0, exclusive_minimum=True,
-                  help="mean arrivals per simulated second"),
+                  help="mean (baseline, for time-varying processes) arrivals per second"),
     "weibull_shape": Param(float, default=1.5, minimum=0.0, exclusive_minimum=True,
                            help="Weibull burstiness (<1 clusters arrivals) when arrival=weibull"),
+    "flash_peak": Param(float, default=8.0, minimum=1.0,
+                        help="peak-to-baseline rate ratio when arrival=flash_crowd"),
+    "flash_at": Param(float, default=5.0, minimum=0.0,
+                      help="simulated time the flash crowd peaks (arrival=flash_crowd)"),
+    "flash_width": Param(float, default=2.0, minimum=0.0, exclusive_minimum=True,
+                         help="Gaussian width of the surge in seconds (arrival=flash_crowd)"),
+    "diurnal_period": Param(float, default=20.0, minimum=0.0, exclusive_minimum=True,
+                            help="seconds per sinusoidal rate cycle when arrival=diurnal"),
+    "diurnal_depth": Param(float, default=0.5, minimum=0.0,
+                           help="fractional rate swing in [0, 1) when arrival=diurnal"),
 }
+
+
+def _interarrival_from_params(workload: Workload):
+    """Build a workload's gap sampler from the shared arrival params.
+
+    The time-varying processes (flash_crowd, diurnal) need the simulation
+    clock, which only the live workload has — so the sampler is assembled
+    here rather than at spec-validation time.
+    """
+    params = workload.params
+    return make_interarrival(
+        workload.rng, params["arrival"], params["rate"], params["weibull_shape"],
+        clock=lambda: workload.sim.now,
+        flash_peak=params["flash_peak"], flash_at=params["flash_at"],
+        flash_width=params["flash_width"],
+        diurnal_period=params["diurnal_period"],
+        diurnal_depth=params["diurnal_depth"],
+    )
 
 
 @register_workload
@@ -73,8 +104,7 @@ class TcpFlowChurn(Workload):
             # The builder reports ValueError as a path-qualified SpecError.
             raise ValueError(
                 f"max_bytes ({params['max_bytes']}) must be >= min_bytes ({params['min_bytes']})")
-        self._draw_gap = make_interarrival(
-            rng, params["arrival"], params["rate"], params["weibull_shape"])
+        self._draw_gap = _interarrival_from_params(self)
         self._next_port = params["port_base"]
         self._active: List[tuple] = []  # (sender_app, listener_app, size)
         self.flows_started = 0
@@ -195,8 +225,7 @@ class WebSessionChurn(Workload):
         if params["max_bytes"] < params["min_bytes"]:
             raise ValueError(
                 f"max_bytes ({params['max_bytes']}) must be >= min_bytes ({params['min_bytes']})")
-        self._draw_gap = make_interarrival(
-            rng, params["arrival"], params["rate"], params["weibull_shape"])
+        self._draw_gap = _interarrival_from_params(self)
         self._active: List[tuple] = []  # (client_app, size)
         self.sessions_started = 0
         self.sessions_completed = 0
@@ -352,4 +381,59 @@ class VatOnOffBurst(Workload):
             "frames_generated": self.frames_generated,
             "frames_sent": self.frames_sent,
             "frames_acked": self.frames_acked,
+        }
+
+
+@register_workload
+class UdpBlast(Workload):
+    """Unresponsive constant-bit-rate UDP: the hostile background stream.
+
+    Fixed-size datagrams are fired from an *unconnected* socket at a
+    constant bit rate, so the kernel's IP output hook cannot match them to
+    any CM flow and the stream never reacts to loss or ECN marks — the
+    classic non-congestion-controlled aggressor the paper's CM-governed
+    flows have to share a bottleneck with.  A sink socket on the peer
+    counts what survives the path, so the metrics expose both the offered
+    load and the delivered share.
+    """
+
+    name = "udp_blast"
+    description = "Unresponsive CBR UDP blast (no CM matching, no congestion response)"
+    colocate_peer = True  # opens the sink socket on the live peer object
+    PARAMS = {
+        "rate_bps": Param(float, default=1_000_000.0, minimum=0.0, exclusive_minimum=True,
+                          help="constant offered bit rate"),
+        "packet_bytes": Param(int, default=1000, minimum=1,
+                              help="datagram payload size"),
+        "port": Param(int, default=9900, minimum=1,
+                      help="sink port opened on the peer"),
+    }
+
+    def __init__(self, scenario, spec, params, rng):
+        super().__init__(scenario, spec, params, rng)
+        # Deliberately left unconnected: sendto() keeps cm_matchable False,
+        # so even a host with a CM cannot regulate this stream.
+        self._source = UDPSocket(self.host)
+        self._sink = UDPSocket(self.peer, local_port=params["port"])
+        self._gap = params["packet_bytes"] * 8.0 / params["rate_bps"]
+
+    def _begin(self) -> None:
+        self._blast()
+
+    def _blast(self) -> None:
+        self._source.sendto(self.params["packet_bytes"], self.peer.addr,
+                            self.params["port"])
+        if self._arrival_allowed(self.sim.now + self._gap):
+            self._schedule(self._gap, self._blast)
+
+    def _teardown(self) -> None:
+        self._source.close()
+        self._sink.close()
+
+    def metrics(self) -> Dict[str, Any]:
+        return {
+            "packets_sent": self._source.packets_sent,
+            "bytes_sent": self._source.bytes_sent,
+            "packets_delivered": self._sink.packets_received,
+            "bytes_delivered": self._sink.bytes_received,
         }

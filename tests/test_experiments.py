@@ -141,7 +141,7 @@ class TestAblationsAndRunner:
         assert set(EXPERIMENTS) == {
             "figure3", "figure4", "figure5", "figure6", "table1",
             "figure7", "figure8", "figure9", "figure10", "ablations",
-            "aggressiveness", "timeseries", "scale",
+            "aggressiveness", "timeseries", "scale", "hostile", "burstloss",
         }
 
     def test_runner_rejects_unknown_name(self):

@@ -26,6 +26,20 @@ GOLDEN_PRESETS = (
     ("parking_lot_mix", 21),
     ("star_web_churn", 5),
     ("mesh_macroflow_sharing", 9),
+    ("gilbert_wireless_bulk", 17),
+    ("red_gateway_sharing", 19),
+    ("flash_crowd_star", 23),
+    ("cm_vs_udp_blast", 27),
+    ("mobile_handoff_reroute", 31),
+)
+
+#: The realism presets additionally pin their bytes under the sharded engine.
+SHARDED_GOLDEN_PRESETS = (
+    ("gilbert_wireless_bulk", 17),
+    ("red_gateway_sharing", 19),
+    ("flash_crowd_star", 23),
+    ("cm_vs_udp_blast", 27),
+    ("mobile_handoff_reroute", 31),
 )
 
 
@@ -56,6 +70,35 @@ class TestGoldenPresets:
         flows = sum(entry["metrics"]["flows_started"] for entry in payload["workloads"])
         assert flows > 10
         assert any(entry["link"] == "r1->r2" for entry in payload["links"])
+
+    @pytest.mark.parametrize("name,seed", SHARDED_GOLDEN_PRESETS)
+    def test_sharded_run_matches_checked_in_golden_bytes(self, name, seed):
+        # PR 9's byte-determinism contract extends to the realism features:
+        # GE loss, RED, time-varying arrivals, udp_blast and mid-run reroutes
+        # must all produce the exact golden bytes under the parallel engine.
+        from repro.netsim.parallel import run_sharded
+
+        spec = get_preset(name)
+        produced = run_sharded(spec, seed=seed, shards=2).to_json()
+        with open(golden_path(name, seed), "r", encoding="utf-8") as fh:
+            golden = fh.read()
+        assert produced == golden
+
+    def test_realism_goldens_are_not_vacuous(self):
+        # Each realism preset must exhibit the mechanism it exists to pin.
+        with open(golden_path("gilbert_wireless_bulk", 17), encoding="utf-8") as fh:
+            ge = json.load(fh)
+        assert any(e["dropped_random"] > 0 for e in ge["links"])
+        with open(golden_path("red_gateway_sharing", 19), encoding="utf-8") as fh:
+            red = json.load(fh)
+        assert any(e["ecn_marked"] > 0 for e in red["links"])
+        with open(golden_path("cm_vs_udp_blast", 27), encoding="utf-8") as fh:
+            blast = json.load(fh)
+        wl = blast["workloads"][0]["metrics"]
+        assert wl["packets_sent"] > 1000 and wl["packets_delivered"] > 1000
+        with open(golden_path("mobile_handoff_reroute", 31), encoding="utf-8") as fh:
+            handoff = json.load(fh)
+        assert handoff["spec_digest"]  # reroutes participate in the digest
 
     @pytest.mark.parametrize("name,seed", GOLDEN_PRESETS[:1])
     def test_trace_files_are_byte_identical_across_runs(self, tmp_path, name, seed):

@@ -12,6 +12,7 @@ from repro.scenario import (
     GraphSpec,
     HostSpec,
     LinkSpec,
+    RerouteSpec,
     ScenarioSpec,
     SpecError,
     StopSpec,
@@ -288,6 +289,216 @@ class TestWorkloadGenerators:
         spec = workload_scenario(WorkloadSpec(kind="tcp_flows", host="src"))
         with pytest.raises(SpecError, match="peer"):
             spec.validate()
+
+
+def diamond_graph(**overrides) -> GraphSpec:
+    """src reaches dst over a fast path (via ra) and a slow one (via rb)."""
+    fields = dict(
+        nodes=[
+            GraphNodeSpec(name="src", cm=True),
+            GraphNodeSpec(name="ra", kind="router"),
+            GraphNodeSpec(name="rb", kind="router"),
+            GraphNodeSpec(name="dst"),
+        ],
+        links=[
+            GraphLinkSpec(a="src", b="ra", rate_bps=10e6, delay=0.001),
+            GraphLinkSpec(a="ra", b="dst", rate_bps=10e6, delay=0.001),
+            GraphLinkSpec(a="src", b="rb", rate_bps=10e6, delay=0.010),
+            GraphLinkSpec(a="rb", b="dst", rate_bps=10e6, delay=0.010),
+        ],
+    )
+    fields.update(overrides)
+    return GraphSpec(**fields)
+
+
+class TestMidRunReroute:
+    def test_apply_reroute_switches_next_hops_and_link_delay(self):
+        sim = Simulator()
+        net = build_graph(
+            sim,
+            nodes=[{"name": "h0"}, {"name": "ra", "kind": "router"},
+                   {"name": "rb", "kind": "router"}, {"name": "h1"}],
+            links=[{"a": "h0", "b": "ra", "rate_bps": 1e6, "delay": 0.001},
+                   {"a": "ra", "b": "h1", "rate_bps": 1e6, "delay": 0.001},
+                   {"a": "h0", "b": "rb", "rate_bps": 1e6, "delay": 0.010},
+                   {"a": "rb", "b": "h1", "rate_bps": 1e6, "delay": 0.010}],
+        )
+        assert net.next_hops["h0"]["h1"] == "ra"
+        net.apply_reroute("h0", "ra", 0.05)
+        assert net.next_hops["h0"]["h1"] == "rb"
+        # The physical link got slower in both directions, not just the table.
+        assert net.links[("h0", "ra")].delay == 0.05
+        assert net.links[("ra", "h0")].delay == 0.05
+        h0, h1 = net.hosts["h0"], net.hosts["h1"]
+        received = []
+        h1.ip.register_handler("udp", 9, received.append)
+        h0.ip.send(Packet(src=h0.addr, dst=h1.addr, sport=9, dport=9,
+                          payload_bytes=100, protocol="udp"))
+        sim.run()
+        assert len(received) == 1
+        assert net.nodes["rb"].ip.packets_forwarded == 1
+        assert net.nodes["ra"].ip.packets_forwarded == 0
+
+    def reroute_scenario(self, reroutes=()) -> ScenarioSpec:
+        return ScenarioSpec(
+            name="handoff",
+            graph=diamond_graph(reroutes=list(reroutes)),
+            apps=[
+                AppSpec(app="tcp_listener", host="dst", label="listener",
+                        params={"port": 5001}),
+                # reno: the CM's rate estimate takes a while to re-converge
+                # after a 10x RTT jump, so plain Reno keeps this test about
+                # the routing handoff rather than CM ramp-up dynamics.
+                AppSpec(app="tcp_sender", host="src", peer="dst", label="flow",
+                        params={"variant": "reno", "port": 5001,
+                                "transfer_bytes": 2_000_000}),
+            ],
+            stop=StopSpec(until=8.0),
+            metrics=("apps", "links"),
+            seed=3,
+        )
+
+    def test_scheduled_reroute_shifts_traffic_mid_run(self):
+        steady = run(self.reroute_scenario(), seed=3)
+        links = {entry["link"]: entry for entry in steady.links}
+        assert links["src->rb"]["delivered_packets"] == 0  # fast path only
+
+        rerouted = run(self.reroute_scenario(
+            [RerouteSpec(time=0.7, a="src", b="ra", delay=0.08)]), seed=3)
+        links = {entry["link"]: entry for entry in rerouted.links}
+        # Traffic used the fast path first, then handed off to the detour.
+        assert links["src->ra"]["delivered_packets"] > 0
+        assert links["src->rb"]["delivered_packets"] > 0
+        assert rerouted.app("flow")["metrics"]["done"] is True
+
+    def test_reroute_scenario_is_byte_deterministic(self):
+        spec = self.reroute_scenario(
+            [RerouteSpec(time=0.7, a="src", b="ra", delay=0.08)])
+        assert run(spec, seed=5).to_json() == run(spec, seed=5).to_json()
+
+    def test_reroute_on_undeclared_link_rejected(self):
+        graph = diamond_graph(reroutes=[RerouteSpec(time=1.0, a="src", b="dst",
+                                                    delay=0.05)])
+        with pytest.raises(SpecError, match="no declared link between 'src' and 'dst'"):
+            ScenarioSpec(name="x", graph=graph, stop=StopSpec(until=2.0)).validate()
+
+    def test_reroute_time_must_be_positive(self):
+        graph = diamond_graph(reroutes=[RerouteSpec(time=0.0, a="src", b="ra",
+                                                    delay=0.05)])
+        with pytest.raises(SpecError, match=r"reroutes\[0\]\.time"):
+            ScenarioSpec(name="x", graph=graph, stop=StopSpec(until=2.0)).validate()
+
+    def test_reroute_times_must_be_non_decreasing(self):
+        graph = diamond_graph(reroutes=[
+            RerouteSpec(time=3.0, a="src", b="ra", delay=0.05),
+            RerouteSpec(time=2.0, a="src", b="rb", delay=0.05),
+        ])
+        with pytest.raises(SpecError, match="non-decreasing"):
+            ScenarioSpec(name="x", graph=graph, stop=StopSpec(until=5.0)).validate()
+
+    def test_reroutes_round_trip_and_are_omitted_when_empty(self):
+        spec = ScenarioSpec(
+            name="x",
+            graph=diamond_graph(reroutes=[RerouteSpec(time=1.5, a="src", b="ra",
+                                                      delay=0.02)]),
+            stop=StopSpec(until=2.0))
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone.to_dict() == spec.to_dict()
+        assert clone.graph.reroutes[0].delay == 0.02
+        plain = ScenarioSpec(name="x", graph=diamond_graph(),
+                             stop=StopSpec(until=2.0)).to_dict()
+        assert "reroutes" not in plain["graph"]
+
+    def test_reroutes_change_the_spec_digest(self):
+        from repro.scenario.runner import spec_digest
+
+        plain = ScenarioSpec(name="x", graph=diamond_graph(), stop=StopSpec(until=2.0))
+        moved = ScenarioSpec(
+            name="x",
+            graph=diamond_graph(reroutes=[RerouteSpec(time=1.0, a="src", b="ra",
+                                                      delay=0.05)]),
+            stop=StopSpec(until=2.0))
+        assert spec_digest(plain) != spec_digest(moved)
+
+
+class TestUdpBlast:
+    def blast_spec(self, **params):
+        merged = {"rate_bps": 2_000_000.0, "packet_bytes": 1_000, "port": 9900}
+        merged.update(params)
+        return workload_scenario(
+            WorkloadSpec(kind="udp_blast", host="src", peer="dst", label="blast",
+                         params=merged),
+            until=2.0)
+
+    def test_cbr_offered_load_and_delivery(self):
+        result = run(self.blast_spec(), seed=4)
+        metrics = result.workload("blast")["metrics"]
+        # 2 Mbit/s in 1000-byte datagrams = 250 pkt/s over 2 s.
+        assert 495 <= metrics["packets_sent"] <= 505
+        assert 0 < metrics["packets_delivered"] <= metrics["packets_sent"]
+        assert metrics["bytes_delivered"] == metrics["packets_delivered"] * 1_000
+        # The 10 Mbit/s link is uncongested: nothing is lost, though the
+        # final datagram may still be in flight at the stop horizon.
+        assert metrics["packets_delivered"] >= metrics["packets_sent"] - 2
+
+    def test_blast_never_joins_the_cm(self):
+        # The source socket is deliberately unconnected, so even though the
+        # host runs a CM the stream opens no CM flow and is never regulated.
+        scenario = build(self.blast_spec(), seed=4)
+        from repro.scenario.runner import run_built
+
+        result = run_built(scenario)
+        assert result.workload("blast")["metrics"]["packets_sent"] > 0
+        assert scenario.hosts["src"].cm.open_flow_count == 0
+
+    def test_blast_respects_the_arrival_window(self):
+        spec = workload_scenario(
+            WorkloadSpec(kind="udp_blast", host="src", peer="dst", label="blast",
+                         start=0.5, stop=1.0,
+                         params={"rate_bps": 800_000.0, "packet_bytes": 1_000}),
+            until=3.0)
+        metrics = run(spec, seed=1).workload("blast")["metrics"]
+        # 100 pkt/s confined to a 0.5 s window.
+        assert 45 <= metrics["packets_sent"] <= 55
+
+
+class TestTimeVaryingArrivals:
+    def test_flash_crowd_outdraws_the_poisson_baseline(self):
+        def flows_started(arrival_params):
+            spec = workload_scenario(
+                WorkloadSpec(kind="tcp_flows", host="src", peer="dst", label="w",
+                             params={"rate": 1.0, "max_active": 64,
+                                     "min_bytes": 2_000, "max_bytes": 20_000,
+                                     **arrival_params}),
+                until=6.0)
+            return run(spec, seed=11).workload("w")["metrics"]["flows_started"]
+
+        poisson = flows_started({})
+        flash = flows_started({"arrival": "flash_crowd", "flash_peak": 12.0,
+                               "flash_at": 3.0, "flash_width": 1.0})
+        assert flash > 2 * max(poisson, 1)
+
+    def test_diurnal_arrivals_run_end_to_end(self):
+        spec = workload_scenario(
+            WorkloadSpec(kind="web_sessions", host="dst", peer="src", label="sessions",
+                         params={"rate": 3.0, "arrival": "diurnal",
+                                 "diurnal_period": 4.0, "diurnal_depth": 0.7,
+                                 "max_bytes": 64 * 1024}),
+            until=6.0,
+            apps=[AppSpec(app="web_server", host="src", label="server",
+                          params={"port": 80, "variant": "cm"})],
+        )
+        result = run(spec, seed=13)
+        metrics = result.workload("sessions")["metrics"]
+        assert metrics["sessions_started"] >= 2
+        assert metrics["requests_completed"] >= 1
+
+    def test_time_varying_trajectory_is_byte_deterministic(self):
+        spec = workload_scenario(
+            WorkloadSpec(kind="tcp_flows", host="src", peer="dst", label="w",
+                         params={"rate": 2.0, "arrival": "flash_crowd"}),
+            until=4.0)
+        assert run(spec, seed=3).to_json() == run(spec, seed=3).to_json()
 
 
 class TestWorkloadsOnGraphs:

@@ -2,7 +2,9 @@
 
 import pytest
 
-from repro.netsim import Link, Packet, PacketTrace, RateTracker, Simulator
+from repro.netsim import (GilbertElliottLoss, Link, Packet, PacketTrace,
+                          RateTracker, RedQueue, Simulator, make_aqm,
+                          make_loss_model)
 from repro.netsim.packet import (
     DEFAULT_MSS,
     DEFAULT_MTU,
@@ -261,6 +263,165 @@ class TestLink:
         sim.run()
         assert arrivals[-1][1] is p3
         assert arrivals[-1][0] == pytest.approx(0.011 + 0.002, abs=1e-6)
+
+
+class TestGilbertElliott:
+    def make_link(self, sim, **kwargs):
+        received = []
+        # Unbounded queue: these tests offer thousands of packets at t=0 and
+        # only study the loss process, not drop-tail behaviour.
+        defaults = dict(rate_bps=8e6, delay=0.01, queue_limit=None, seed=7)
+        defaults.update(kwargs)
+        link = Link(sim, **defaults)
+        link.attach(received.append)
+        return link, received
+
+    def test_losses_are_bursty(self):
+        # Mean burst length 1/p_bad_good = 10 packets: drops must cluster
+        # into far fewer runs than the same loss mass would under Bernoulli.
+        sim = Simulator()
+        model = {"kind": "gilbert_elliott", "p_good_bad": 0.02, "p_bad_good": 0.1}
+        link, received = self.make_link(sim, loss_model=model)
+        outcomes = [link.send(make_packet(10)) for _ in range(2000)]
+        dropped = outcomes.count(False)
+        assert dropped > 50
+        assert link.stats.dropped_random == dropped
+        runs = sum(1 for i, ok in enumerate(outcomes)
+                   if not ok and (i == 0 or outcomes[i - 1]))
+        assert runs * 3 < dropped  # mean run length well above 1
+
+    def test_long_run_loss_rate_matches_stationary_distribution(self):
+        sim = Simulator()
+        model = {"kind": "gilbert_elliott", "p_good_bad": 0.05, "p_bad_good": 0.2}
+        link, _ = self.make_link(sim, loss_model=model)
+        outcomes = [link.send(make_packet(10)) for _ in range(20000)]
+        # Stationary bad-state probability = p_gb / (p_gb + p_bg) = 0.2.
+        rate = outcomes.count(False) / len(outcomes)
+        assert 0.15 < rate < 0.25
+
+    def test_reproducible_per_seed(self):
+        results = []
+        for _ in range(2):
+            sim = Simulator()
+            model = {"kind": "gilbert_elliott", "p_good_bad": 0.1, "p_bad_good": 0.3}
+            link, _ = self.make_link(sim, seed=99, loss_model=model)
+            results.append([link.send(make_packet(10)) for _ in range(500)])
+        assert results[0] == results[1]
+
+    def test_mapping_config_builds_fresh_instances(self):
+        sim = Simulator()
+        config = {"kind": "gilbert_elliott", "p_good_bad": 0.1, "p_bad_good": 0.3}
+        link_a, _ = self.make_link(sim, loss_model=config)
+        link_b, _ = self.make_link(sim, loss_model=config)
+        assert isinstance(link_a.loss_model, GilbertElliottLoss)
+        assert link_a.loss_model is not link_b.loss_model
+
+    def test_factory_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_loss_model({"kind": "nope"})
+
+    @pytest.mark.parametrize("kwargs", [
+        {"p_good_bad": 0.0, "p_bad_good": 0.5},
+        {"p_good_bad": 1.5, "p_bad_good": 0.5},
+        {"p_good_bad": 0.5, "p_bad_good": 0.0},
+        {"p_good_bad": 0.5, "p_bad_good": 0.5, "loss_good": 1.0},
+        {"p_good_bad": 0.5, "p_bad_good": 0.5, "loss_bad": 1.5},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(**kwargs)
+
+
+class TestRedQueue:
+    def make_link(self, sim, **kwargs):
+        received = []
+        defaults = dict(rate_bps=8e5, delay=0.01, queue_limit=1000, seed=3,
+                        aqm={"kind": "red", "min_th": 5, "max_th": 15})
+        defaults.update(kwargs)
+        link = Link(sim, **defaults)
+        link.attach(received.append)
+        return link, received
+
+    def test_below_min_th_accepts_everything(self):
+        sim = Simulator()
+        link, received = self.make_link(sim)
+        for _ in range(4):  # occupancy never crosses min_th
+            assert link.send(make_packet(1000))
+        sim.run()
+        assert link.stats.dropped_random == 0
+        assert link.stats.ecn_marked == 0
+        assert len(received) == 4
+
+    def test_sustained_overload_gates_packets(self):
+        sim = Simulator()
+        link, received = self.make_link(sim)
+        sent = 0
+        def offer():
+            nonlocal sent
+            if sent < 400:
+                link.send(make_packet(1000))
+                sent += 1
+                # 1000 bytes at 0.8 Mbps serialise in 10 ms; offering every
+                # 2 ms overloads the link 5x so the average queue climbs
+                # through both RED thresholds.
+                sim.schedule(0.002, offer)
+        offer()
+        sim.run()
+        # Non-ECN packets: RED drops, never marks.
+        assert link.stats.dropped_random > 0
+        assert link.stats.ecn_marked == 0
+
+    def test_ecn_capable_marked_instead_of_dropped(self):
+        sim = Simulator()
+        link, received = self.make_link(sim)
+        sent = 0
+        def offer():
+            nonlocal sent
+            if sent < 400:
+                link.send(make_packet(1000, ecn_capable=True))
+                sent += 1
+                sim.schedule(0.002, offer)
+        offer()
+        sim.run()
+        assert link.stats.ecn_marked > 0
+        assert link.stats.dropped_random == 0
+        assert any(p.ecn_marked for p in received)
+
+    def test_average_tracks_ewma_not_instantaneous(self):
+        red = RedQueue(min_th=5, max_th=15, w_q=0.002)
+        import random as _random
+        rng = _random.Random(1)
+        # One huge instantaneous burst must not trip the gate: the EWMA
+        # moves by w_q per arrival.
+        assert red.should_gate(rng, 100, 0.0, 8e6) is False
+        assert red.avg == pytest.approx(0.2)
+
+    def test_idle_decay_shrinks_average(self):
+        red = RedQueue(min_th=5, max_th=15, w_q=0.01, mean_packet_bytes=1000)
+        import random as _random
+        rng = _random.Random(1)
+        for i in range(2000):
+            red.should_gate(rng, 20, i * 0.001, 8e6)
+        avg_before = red.avg
+        assert avg_before > 5
+        red.should_gate(rng, 0, 10.0, 8e6)  # ~8 s idle at 1 ms/slot
+        assert red.avg < avg_before * 0.01
+
+    def test_factory_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_aqm({"kind": "codel", "min_th": 1, "max_th": 2})
+
+    @pytest.mark.parametrize("kwargs", [
+        {"min_th": 0, "max_th": 10},
+        {"min_th": 5, "max_th": 5},
+        {"min_th": 5, "max_th": 15, "max_p": 0.0},
+        {"min_th": 5, "max_th": 15, "max_p": 1.5},
+        {"min_th": 5, "max_th": 15, "w_q": 0.0},
+        {"min_th": 5, "max_th": 15, "mean_packet_bytes": 0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RedQueue(**kwargs)
 
 
 class TestTrace:

@@ -75,6 +75,39 @@ class TestShardedByteIdentity:
         # shards=1 forces the single-process path despite the spec.
         assert run(spec, shards=1).to_json() == run(get_preset("star_web_churn")).to_json()
 
+    def test_realism_blocks_and_reroute_shard_byte_identically(self):
+        from repro.scenario.spec import RerouteSpec
+
+        # Gilbert–Elliott loss, RED, and a scheduled reroute all at once:
+        # the per-direction model state and the global route recomputation
+        # must reproduce the single-process bytes across the shard boundary.
+        graph = GraphSpec(
+            nodes=[GraphNodeSpec(name="src", cm=True),
+                   GraphNodeSpec(name="ra", kind="router"),
+                   GraphNodeSpec(name="rb", kind="router"),
+                   GraphNodeSpec(name="dst")],
+            links=[
+                GraphLinkSpec(a="src", b="ra", rate_bps=4e6, delay=0.002,
+                              loss={"kind": "gilbert_elliott",
+                                    "p_good_bad": 0.01, "p_bad_good": 0.3}),
+                GraphLinkSpec(a="ra", b="dst", rate_bps=4e6, delay=0.002,
+                              queue_limit=32,
+                              aqm={"kind": "red", "min_th": 4, "max_th": 12}),
+                GraphLinkSpec(a="src", b="rb", rate_bps=4e6, delay=0.008),
+                GraphLinkSpec(a="rb", b="dst", rate_bps=4e6, delay=0.008),
+            ],
+            reroutes=[RerouteSpec(time=1.3, a="src", b="ra", delay=0.03)],
+        )
+        spec = ScenarioSpec(
+            name="realism_shards", graph=graph,
+            workloads=[WorkloadSpec(kind="tcp_flows", host="src", peer="dst",
+                                    label="churn",
+                                    params={"rate": 3.0, "min_bytes": 5_000,
+                                            "max_bytes": 40_000})],
+            stop=StopSpec(until=3.0), metrics=("apps", "links"), seed=2)
+        sharded = run_sharded(spec, seed=2, shards=2).to_json()
+        assert sharded == run(spec, seed=2, shards=1).to_json()
+
     def test_sharding_a_non_graph_spec_is_a_spec_error(self):
         spec = get_preset("web_vat_mix")
         assert spec.graph is None
@@ -198,6 +231,40 @@ class TestPartitionerProperties:
         spec = _chain_spec(["a", "b"], [0.0])
         with pytest.raises(SpecError, match="engine.shards"):
             partition_graph(spec, 2)
+
+    def test_reroutes_lower_the_effective_lookahead(self):
+        from repro.scenario.spec import RerouteSpec
+
+        # The conservative window must stay safe over the link's whole
+        # lifetime: a reroute that shrinks the cut link's delay mid-run
+        # caps the lookahead from build time.
+        spec = _chain_spec(["a", "b", "c", "d"], [0.001, 0.010, 0.001])
+        spec.graph.reroutes = [RerouteSpec(time=1.0, a="c", b="b", delay=0.004)]
+        part = partition_graph(spec, 2)
+        assert part.cut_pairs == frozenset({("b", "c")})
+        assert part.lookahead == 0.004
+
+    def test_reroute_to_zero_delay_on_a_cut_link_is_rejected(self):
+        from repro.scenario.spec import RerouteSpec
+
+        # With spare capacity the clusterer absorbs a rerouted-to-zero link
+        # into one shard (it sorts by effective delay), so force the cut:
+        # two nodes, one link, delay rerouted to zero mid-run.
+        spec = _chain_spec(["a", "b"], [0.004])
+        spec.graph.reroutes = [RerouteSpec(time=1.0, a="a", b="b", delay=0.0)]
+        with pytest.raises(SpecError, match="scheduled reroute"):
+            partition_graph(spec, 2)
+
+    def test_zero_delay_reroute_link_is_absorbed_when_capacity_allows(self):
+        from repro.scenario.spec import RerouteSpec
+
+        # The clusterer weights links by lifetime-minimum delay, so the
+        # rerouted-to-zero middle hop sorts first and stays shard-internal.
+        spec = _chain_spec(["a", "b", "c", "d"], [0.001, 0.010, 0.001])
+        spec.graph.reroutes = [RerouteSpec(time=1.0, a="b", b="c", delay=0.0)]
+        part = partition_graph(spec, 2)
+        assert part.shard_of["b"] == part.shard_of["c"]
+        assert ("b", "c") not in part.cut_pairs
 
     def test_requesting_more_shards_than_nodes_clamps(self):
         spec = _chain_spec(["a", "b"], [0.004])

@@ -82,6 +82,22 @@ class TestWorkloads:
         assert payload["links"] > 40
         assert "shortest-path" in payload["notes"]
 
+    def test_red_queue_benchmark_row(self):
+        result = harness.bench_red_queue(n=500, repeats=1)
+        assert result.ops == 500
+        assert result.wall_s > 0
+        # The pair shares everything but the aqm block, so the overhead
+        # factor exists and is a sane ratio (not a 10x blowup either way).
+        assert result.speedup is not None and 0.2 < result.speedup < 5.0
+        assert "RED" in result.notes and "overhead factor" in result.notes
+
+    def test_gilbert_elliott_churn_benchmark_row(self):
+        result = harness.bench_gilbert_elliott_churn(duration=1.0, repeats=1)
+        assert result.ops > 0  # packets actually crossed the lossy hop
+        assert result.wall_s > 0
+        assert result.speedup is not None and 0.2 < result.speedup < 5.0
+        assert "Bernoulli" in result.notes
+
     def test_shard_scaling_benchmark_row(self):
         import os
 

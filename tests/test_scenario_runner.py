@@ -182,6 +182,22 @@ class TestRun:
         run_built(scenario)
         assert scenario.channel("tx", "rx").rate_bps == 1e6
 
+    def test_rate_schedule_rescales_both_directions(self):
+        # Documented contract (Channel.set_rate): a rate_schedule step models
+        # reconfiguring one Dummynet pipe, so the reverse (ACK) path rescales
+        # with the forward path.  The libcm_*_streaming presets and their
+        # pinned results encode this — scoping a step to the forward
+        # direction only would shift every golden that uses a schedule.
+        spec = tiny_transfer_spec(until=4.0, when_apps_done=False)
+        spec.links[0].rate_schedule = ((1.0, 1e6),)
+        scenario = build(spec, seed=3)
+        from repro.scenario import run_built
+
+        run_built(scenario)
+        channel = scenario.channel("tx", "rx")
+        assert channel.forward.rate_bps == 1e6
+        assert channel.reverse.rate_bps == 1e6
+
 
 class TestCli:
     def test_list_runs(self, capsys):

@@ -188,6 +188,110 @@ class TestAppValidation:
         assert params == {"port": 80, "delayed_acks": True}
 
 
+def ge_loss(**overrides):
+    block = {"kind": "gilbert_elliott", "p_good_bad": 0.05, "p_bad_good": 0.3}
+    block.update(overrides)
+    return block
+
+
+def red_aqm(**overrides):
+    block = {"kind": "red", "min_th": 5, "max_th": 15}
+    block.update(overrides)
+    return block
+
+
+def realism_link(**overrides) -> LinkSpec:
+    fields = dict(a="a", b="b", rate_bps=1e6, delay=0.01)
+    fields.update(overrides)
+    return LinkSpec(**fields)
+
+
+class TestLinkRealismBlocks:
+    def test_loss_and_aqm_blocks_validate(self):
+        minimal_spec(links=[realism_link(loss=ge_loss(), aqm=red_aqm())]).validate()
+
+    def test_unknown_loss_kind_rejected(self):
+        spec = minimal_spec(links=[realism_link(loss=ge_loss(kind="rayleigh"))])
+        with pytest.raises(SpecError, match="unknown loss model 'rayleigh'"):
+            spec.validate()
+
+    def test_unknown_loss_key_rejected_by_name(self):
+        spec = minimal_spec(links=[realism_link(loss=ge_loss(burstiness=3))])
+        with pytest.raises(SpecError, match=r"loss: unknown key 'burstiness'"):
+            spec.validate()
+
+    def test_loss_transition_probabilities_range_checked(self):
+        with pytest.raises(SpecError, match=r"loss\.p_good_bad: must be > 0"):
+            minimal_spec(links=[realism_link(loss=ge_loss(p_good_bad=0.0))]).validate()
+        with pytest.raises(SpecError, match=r"loss\.p_bad_good: must be <= 1"):
+            minimal_spec(links=[realism_link(loss=ge_loss(p_bad_good=1.5))]).validate()
+        with pytest.raises(SpecError, match=r"loss\.loss_good: must be < 1"):
+            minimal_spec(links=[realism_link(loss=ge_loss(loss_good=1.0))]).validate()
+
+    def test_loss_block_missing_required_key_rejected(self):
+        spec = minimal_spec(links=[realism_link(
+            loss={"kind": "gilbert_elliott", "p_good_bad": 0.05})])
+        with pytest.raises(SpecError, match=r"loss\.p_bad_good: is required"):
+            spec.validate()
+
+    def test_loss_model_and_bernoulli_loss_rate_are_exclusive(self):
+        spec = minimal_spec(links=[realism_link(loss=ge_loss(), loss_rate=0.1)])
+        with pytest.raises(SpecError, match="must stay 0 when a loss model"):
+            spec.validate()
+
+    def test_unknown_aqm_kind_rejected(self):
+        spec = minimal_spec(links=[realism_link(aqm=red_aqm(kind="codel"))])
+        with pytest.raises(SpecError, match="unknown aqm 'codel'"):
+            spec.validate()
+
+    def test_aqm_thresholds_must_be_ordered(self):
+        spec = minimal_spec(links=[realism_link(aqm=red_aqm(min_th=15, max_th=15))])
+        with pytest.raises(SpecError, match=r"aqm\.max_th: must be > min_th"):
+            spec.validate()
+
+    def test_aqm_and_legacy_ecn_threshold_are_exclusive(self):
+        spec = minimal_spec(links=[realism_link(aqm=red_aqm(), ecn_threshold=10)])
+        with pytest.raises(SpecError, match="must stay unset when an aqm"):
+            spec.validate()
+
+    def test_graph_links_take_the_same_blocks(self):
+        from repro.scenario import GraphLinkSpec, GraphNodeSpec, GraphSpec
+
+        graph = GraphSpec(
+            nodes=[GraphNodeSpec(name="a"), GraphNodeSpec(name="b")],
+            links=[GraphLinkSpec(a="a", b="b", rate_bps=1e6, delay=0.01,
+                                 loss=ge_loss(), aqm=red_aqm())],
+        )
+        ScenarioSpec(name="g", graph=graph, stop=StopSpec(until=1.0)).validate()
+        bad = GraphSpec(
+            nodes=[GraphNodeSpec(name="a"), GraphNodeSpec(name="b")],
+            links=[GraphLinkSpec(a="a", b="b", rate_bps=1e6, delay=0.01,
+                                 loss=ge_loss(p_good_bad=2.0))],
+        )
+        with pytest.raises(SpecError, match=r"p_good_bad: must be <= 1"):
+            ScenarioSpec(name="g", graph=bad, stop=StopSpec(until=1.0)).validate()
+
+    def test_blocks_round_trip_and_are_omitted_when_absent(self):
+        spec = minimal_spec(links=[realism_link(loss=ge_loss(), aqm=red_aqm())])
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone.to_dict() == spec.to_dict()
+        assert clone.links[0].loss == ge_loss()
+        # Pre-existing specs must render (and digest) exactly as before the
+        # blocks were introduced.
+        plain = minimal_spec().to_dict()
+        assert "loss" not in plain["links"][0]
+        assert "aqm" not in plain["links"][0]
+
+    def test_blocks_change_the_spec_digest(self):
+        from repro.scenario.runner import spec_digest
+
+        plain = minimal_spec()
+        lossy = minimal_spec(links=[realism_link(loss=ge_loss())])
+        tweaked = minimal_spec(links=[realism_link(loss=ge_loss(p_good_bad=0.1))])
+        digests = {spec_digest(spec) for spec in (plain, lossy, tweaked)}
+        assert len(digests) == 3
+
+
 class TestRoundTrip:
     def test_from_dict_rejects_unknown_top_level_key(self):
         with pytest.raises(SpecError, match="unknown key 'topology'.*valid keys:"):
